@@ -1,0 +1,54 @@
+"""Ablation — the §III-B.4 self-adaptive SliceLink threshold.
+
+The paper describes the controller but never plots it separately; this
+ablation compares fixed T_s (= fan-out) against the adaptive controller on
+three read/write mixes.  Expectation: adaptivity tracks the mix — it must
+never lose badly to the fixed setting, and the converged threshold should
+order with the write ratio (WH > RWB > RH).
+"""
+
+from repro.harness.experiments import ablation_adaptive_threshold
+from repro.harness.report import format_table, paper_row
+
+from conftest import run_once
+
+MIXES = ("WH", "RWB", "RH")
+
+
+def test_ablation_adaptive_threshold(benchmark, bench_ops, bench_keys):
+    out = run_once(
+        benchmark,
+        lambda: ablation_adaptive_threshold(ops=bench_ops, key_space=bench_keys),
+    )
+    rows = []
+    thresholds = {}
+    for mix in MIXES:
+        fixed = out.result_for(mix, "LDC-fixed")
+        adaptive = out.result_for(mix, "LDC-adaptive")
+        thresholds[mix] = adaptive.final_threshold
+        rows.append(
+            (
+                mix,
+                round(fixed.throughput_ops_s),
+                round(adaptive.throughput_ops_s),
+                fixed.final_threshold,
+                adaptive.final_threshold,
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["workload", "fixed ops/s", "adaptive ops/s", "fixed T_s", "converged T_s"],
+            rows,
+            title="Ablation — fixed vs self-adaptive SliceLink threshold:",
+        )
+    )
+    print(paper_row("threshold tracks write ratio", "WH > RWB > RH", str(thresholds)))
+
+    # The converged thresholds must order with the write ratio.
+    assert thresholds["WH"] >= thresholds["RWB"] >= thresholds["RH"]
+    # Adaptivity never loses badly to the hand-tuned fixed setting.
+    for mix in MIXES:
+        fixed = out.result_for(mix, "LDC-fixed").throughput_ops_s
+        adaptive = out.result_for(mix, "LDC-adaptive").throughput_ops_s
+        assert adaptive > 0.8 * fixed, f"adaptive collapsed on {mix}"

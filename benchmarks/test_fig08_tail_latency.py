@@ -1,0 +1,52 @@
+"""Fig. 8 — tail latency percentiles (P90..P99.99), UDC vs LDC.
+
+Paper (10 M random writes + 10 M random reads):
+
+    P99.9:  469.66 us (UDC) -> 179.53 us (LDC), a 2.62x reduction
+    P99.99: 2688.23 us      -> 1305.96 us
+
+Shape to match: LDC's high percentiles (P99.9, P99.99) are substantially
+below UDC's, because lower-level driven merges are O(1)-file jobs instead
+of O(fan_out)-file jobs (equation (3)).
+"""
+
+from repro.harness.experiments import fig08_tail_latency
+from repro.harness.report import format_table, paper_row, ratio
+
+from conftest import run_once
+
+PAPER = {
+    99.9: (469.66, 179.53),
+    99.99: (2688.23, 1305.96),
+}
+
+
+def test_fig08_tail_latency(benchmark, bench_ops, bench_keys):
+    out = run_once(
+        benchmark,
+        lambda: fig08_tail_latency(ops=bench_ops, key_space=bench_keys),
+    )
+    udc, ldc = out["UDC"], out["LDC"]
+    rows = [
+        (
+            f"P{pct:g}",
+            round(udc[pct], 1),
+            round(ldc[pct], 1),
+            ratio(udc[pct], ldc[pct]),
+        )
+        for pct in sorted(udc)
+    ]
+    print()
+    print(
+        format_table(
+            ["percentile", "UDC (us)", "LDC (us)", "UDC/LDC"],
+            rows,
+            title="Fig. 8 — tail latency, 50/50 random reads+writes:",
+        )
+    )
+    print(paper_row("P99.9 ratio", "2.62x (469.66 -> 179.53 us)", ratio(udc[99.9], ldc[99.9])))
+    print(paper_row("P99.99 ratio", "2.06x (2688 -> 1306 us)", ratio(udc[99.99], ldc[99.99])))
+
+    # Shape assertions: LDC wins at the deep tail, decisively at P99.99.
+    assert ldc[99.9] < udc[99.9]
+    assert ldc[99.99] < udc[99.99] / 1.5

@@ -1,0 +1,46 @@
+"""Fig. 9 — average latency by workload mix, UDC vs LDC.
+
+Paper: LDC's average latency drops to 43.3% of UDC's on write-heavy (WH)
+and 45.6% on balanced (RWB) workloads; on read-heavy (RH) the two are
+comparable (LDC trades some read speed for its write gains).
+
+Shape to match: a clear LDC win on WH and RWB; near-parity on RH.
+"""
+
+from repro.harness.experiments import fig09_avg_latency
+from repro.harness.report import format_table, paper_row
+
+from conftest import run_once
+
+PAPER_RATIO = {"WH": 0.433, "RWB": 0.456, "RH": 1.0}
+
+
+def test_fig09_avg_latency(benchmark, bench_ops, bench_keys):
+    out = run_once(
+        benchmark, lambda: fig09_avg_latency(ops=bench_ops, key_space=bench_keys)
+    )
+    rows = []
+    ratios = {}
+    for mix in ("WH", "RWB", "RH"):
+        udc = out.result_for(mix, "UDC").mean_latency_us
+        ldc = out.result_for(mix, "LDC").mean_latency_us
+        ratios[mix] = ldc / udc
+        rows.append(
+            (mix, round(udc, 1), round(ldc, 1), f"{ldc / udc:.2f}",
+             f"{PAPER_RATIO[mix]:.2f}")
+        )
+    print()
+    print(
+        format_table(
+            ["workload", "UDC avg (us)", "LDC avg (us)", "LDC/UDC", "paper LDC/UDC"],
+            rows,
+            title="Fig. 9 — average latency by workload:",
+        )
+    )
+    print(paper_row("WH average-latency ratio", "0.43", f"{ratios['WH']:.2f}"))
+
+    # Shape assertions: LDC at least matches UDC on the write-bearing
+    # mixes and does not lose badly on read-heavy.
+    assert ratios["WH"] < 1.0
+    assert ratios["RWB"] < 1.0
+    assert ratios["RH"] < 1.3

@@ -1,0 +1,49 @@
+"""Fig. 10(a) — total throughput on the point-lookup mixes.
+
+Paper: LDC over UDC by +78.0% (WO), +73.7% (WH), +80.2% (RWB), +16% (RH),
+and roughly parity on RO (the adaptive threshold plus Bloom filters hide
+the slice-read cost).  Average improvement across WH/RWB/RH: 56.7%.
+
+Shape to match: LDC's gain is largest on write-dominated mixes, shrinks
+as reads take over, and RO shows no large regression.
+"""
+
+from repro.harness.experiments import fig10a_throughput_get
+from repro.harness.report import format_table, improvement, paper_row
+
+from conftest import run_once
+
+PAPER_GAIN = {"WO": "+78.0%", "WH": "+73.7%", "RWB": "+80.2%", "RH": "+16%", "RO": "~0%"}
+MIXES = ("WO", "WH", "RWB", "RH", "RO")
+
+
+def test_fig10a_throughput_get(benchmark, bench_ops, bench_keys):
+    out = run_once(
+        benchmark, lambda: fig10a_throughput_get(ops=bench_ops, key_space=bench_keys)
+    )
+    gains = {}
+    rows = []
+    for mix in MIXES:
+        udc = out.result_for(mix, "UDC").throughput_ops_s
+        ldc = out.result_for(mix, "LDC").throughput_ops_s
+        gains[mix] = ldc / udc - 1.0
+        rows.append(
+            (mix, round(udc), round(ldc), improvement(ldc, udc), PAPER_GAIN[mix])
+        )
+    print()
+    print(
+        format_table(
+            ["workload", "UDC ops/s", "LDC ops/s", "LDC gain", "paper gain"],
+            rows,
+            title="Fig. 10(a) — throughput, point-lookup mixes:",
+        )
+    )
+    print(paper_row("avg gain over WH/RWB/RH", "+56.7%",
+                    improvement(1 + (gains['WH'] + gains['RWB'] + gains['RH']) / 3, 1)))
+
+    # Shape assertions.
+    assert gains["WO"] > 0.05, "LDC must win clearly on write-only"
+    assert gains["WH"] > 0.0
+    assert gains["RWB"] > 0.0
+    assert gains["WO"] > gains["RH"], "gain shrinks as reads take over"
+    assert gains["RO"] > -0.25, "read-only must not regress badly"

@@ -1,0 +1,59 @@
+"""Fig. 12(a)/(d) — impact of the SliceLink threshold T_s.
+
+Paper (uniform RWB): the best threshold equals the fan-out (10) — small
+thresholds merge too early (more rounds, more extra lower-level I/O per
+byte moved), large thresholds shrink amplification further (Fig. 12d) but
+fragment reads and lose overall performance (Fig. 12a).
+
+Shape to match: compaction I/O falls as T_s grows; throughput peaks at a
+moderate threshold rather than at either extreme.
+"""
+
+from repro.harness.experiments import fig12ad_slicelink_threshold
+from repro.harness.report import format_table, mib, paper_row
+
+from conftest import run_once
+
+THRESHOLDS = (2, 5, 10, 20, 40)
+
+
+def test_fig12ad_slicelink_threshold(benchmark, bench_ops, bench_keys):
+    out = run_once(
+        benchmark,
+        lambda: fig12ad_slicelink_threshold(
+            thresholds=THRESHOLDS, ops=bench_ops, key_space=bench_keys
+        ),
+    )
+    io_by_threshold = {}
+    thpt_by_threshold = {}
+    rows = []
+    for row in out.rows:
+        result = row.result
+        label = row.workload
+        if label.startswith("T_s="):
+            threshold = int(label.split("=")[1])
+            io_by_threshold[threshold] = result.compaction_bytes_total
+            thpt_by_threshold[threshold] = result.throughput_ops_s
+        rows.append(
+            (
+                f"{label} ({row.policy})",
+                round(result.throughput_ops_s),
+                round(mib(result.compaction_bytes_total), 1),
+                round(result.write_amplification, 2),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["setting", "ops/s", "compaction MiB", "write amp"],
+            rows,
+            title="Fig. 12(a)/(d) — SliceLink threshold sweep (uniform RWB):",
+        )
+    )
+    best = max(thpt_by_threshold, key=thpt_by_threshold.get)
+    print(paper_row("best T_s", "fan-out (10)", str(best)))
+
+    # Shape assertions: amplification falls with larger thresholds...
+    assert io_by_threshold[max(THRESHOLDS)] < io_by_threshold[min(THRESHOLDS)]
+    # ...and the throughput optimum is an interior moderate setting.
+    assert best not in (min(THRESHOLDS),), "tiny thresholds should not win"

@@ -1,0 +1,65 @@
+"""Fig. 12(b)/(e) — fan-out sweep for UDC and LDC.
+
+Paper (uniform RWB, fan-out 3..100): LDC achieves fewer compaction I/Os
+and higher throughput at *every* fan-out, by +8.8% (small fan-outs) up to
++187.9%; the gap widens with fan-out because LDC's whole point is removing
+the O(fan_out) per-round overlap.  UDC's best fan-out is ~3, LDC's ~25.
+
+Shape to match: LDC >= UDC across the sweep, and LDC's relative advantage
+at the largest fan-out exceeds its advantage at the smallest.
+"""
+
+from repro.harness.experiments import fig12be_fanout_sweep
+from repro.harness.report import format_table, improvement, mib, paper_row
+
+from conftest import run_once
+
+FAN_OUTS = (3, 10, 25, 50)
+
+
+def test_fig12be_fanout_sweep(benchmark, bench_ops, bench_keys):
+    out = run_once(
+        benchmark,
+        lambda: fig12be_fanout_sweep(
+            fan_outs=FAN_OUTS, ops=bench_ops, key_space=bench_keys
+        ),
+    )
+    rows = []
+    gain = {}
+    io_saving = {}
+    for fan_out in FAN_OUTS:
+        label = f"fanout={fan_out}"
+        udc = out.result_for(label, "UDC")
+        ldc = out.result_for(label, "LDC")
+        gain[fan_out] = ldc.throughput_ops_s / udc.throughput_ops_s - 1
+        io_saving[fan_out] = 1 - ldc.compaction_bytes_total / max(
+            1, udc.compaction_bytes_total
+        )
+        rows.append(
+            (
+                label,
+                round(udc.throughput_ops_s),
+                round(ldc.throughput_ops_s),
+                improvement(ldc.throughput_ops_s, udc.throughput_ops_s),
+                round(mib(udc.compaction_bytes_total), 1),
+                round(mib(ldc.compaction_bytes_total), 1),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["setting", "UDC ops/s", "LDC ops/s", "LDC gain", "UDC compMiB", "LDC compMiB"],
+            rows,
+            title="Fig. 12(b)/(e) — fan-out sweep (uniform RWB):",
+        )
+    )
+    print(paper_row("gain range", "+8.8% .. +187.9%",
+                    f"{min(gain.values()):+.1%} .. {max(gain.values()):+.1%}"))
+
+    # Shape assertions.
+    for fan_out in FAN_OUTS:
+        assert gain[fan_out] > -0.10, f"LDC must not lose at fan-out {fan_out}"
+    assert gain[max(FAN_OUTS)] > gain[min(FAN_OUTS)], (
+        "LDC's advantage must grow with fan-out"
+    )
+    assert io_saving[max(FAN_OUTS)] > 0.2

@@ -1,0 +1,47 @@
+"""Fig. 12(c)/(f) — Bloom filter size impact on a balanced workload.
+
+Paper (uniform RWB, 10..200 bits/key): "the system performance does not
+fluctuate much for both UDC and LDC" — i.e. 10 bits/key already gives
+filters accurate enough that bigger ones buy nothing.
+
+Shape to match: for each policy, throughput across the sweep stays within
+a narrow band.
+"""
+
+from repro.harness.experiments import fig12cf_bloom_rwb
+from repro.harness.report import format_table, paper_row
+
+from conftest import run_once
+
+BITS = (10, 50, 100, 200)
+
+
+def test_fig12cf_bloom_rwb(benchmark, bench_ops, bench_keys):
+    out = run_once(
+        benchmark,
+        lambda: fig12cf_bloom_rwb(
+            bits_per_key=BITS, ops=bench_ops, key_space=bench_keys
+        ),
+    )
+    by_policy = {"UDC": {}, "LDC": {}}
+    rows = []
+    for bits in BITS:
+        label = f"bits={bits}"
+        udc = out.result_for(label, "UDC").throughput_ops_s
+        ldc = out.result_for(label, "LDC").throughput_ops_s
+        by_policy["UDC"][bits] = udc
+        by_policy["LDC"][bits] = ldc
+        rows.append((label, round(udc), round(ldc)))
+    print()
+    print(
+        format_table(
+            ["setting", "UDC ops/s", "LDC ops/s"],
+            rows,
+            title="Fig. 12(c)/(f) — Bloom bits/key sweep (uniform RWB):",
+        )
+    )
+    for policy, series in by_policy.items():
+        spread = max(series.values()) / min(series.values()) - 1
+        print(paper_row(f"{policy} spread across sweep", "flat (<~10%)", f"{spread:.1%}"))
+        # Shape assertion: the paper's flatness.
+        assert spread < 0.15, f"{policy} should be flat beyond 10 bits/key"

@@ -1,0 +1,58 @@
+"""Fig. 13 — Bloom filter sizing under a read-only workload (LDC store).
+
+Paper: with 10 M point lookups, the count of data-block reads falls as
+bits/key grows but stops improving past ~16 bits/key; meanwhile the
+filter size per 2-MB SSTable grows linearly (11.3 KB at 8 bits/key to
+67.3 KB at 128).  Conclusion: 8-16 bits/key is the right setting — filters
+cost ~0.5% space and cut LDC's slice-read overhead to near-UDC levels.
+
+Shape to match: block reads decrease then plateau around 16 bits/key;
+filter size grows linearly.
+"""
+
+from repro.harness.experiments import fig13_bloom_ro
+from repro.harness.report import format_table, paper_row
+
+from conftest import run_once
+
+BITS = (2, 4, 8, 16, 32, 64)
+
+
+def test_fig13_bloom_ro(benchmark, bench_ops, bench_keys):
+    out = run_once(
+        benchmark,
+        lambda: fig13_bloom_ro(
+            bits_per_key=BITS, ops=bench_ops, key_space=bench_keys
+        ),
+    )
+    rows = []
+    for bits in BITS:
+        data = out[bits]
+        rows.append(
+            (
+                bits,
+                int(data["block_reads"]),
+                f"{data['block_reads'] / data['reads']:.3f}",
+                int(data["bloom_skips"]),
+                round(data["filter_bytes_per_table"] / 1024, 2),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["bits/key", "block reads", "reads/op", "bloom skips", "filter KiB/table"],
+            rows,
+            title="Fig. 13 — read-only workload on an LDC store:",
+        )
+    )
+    reads = {bits: out[bits]["block_reads"] for bits in BITS}
+    print(paper_row("plateau", ">=16 bits/key adds little", "see reads/op column"))
+
+    # Shape assertions.
+    assert reads[2] > reads[16], "few bits => extra false-positive block reads"
+    plateau_change = abs(reads[16] - reads[64]) / max(reads[16], 1)
+    assert plateau_change < 0.05, "past 16 bits/key the curve is flat"
+    # Filter size linear in bits/key.
+    assert out[64]["filter_bytes_per_table"] == (
+        8 * out[8]["filter_bytes_per_table"]
+    )

@@ -1,0 +1,15 @@
+"""Legacy setup shim.
+
+The sandbox this repository is developed in has no network access and no
+``wheel`` package, so PEP 660 editable installs fail with
+``invalid command 'bdist_wheel'``.  This shim enables the legacy editable
+path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

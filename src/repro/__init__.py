@@ -1,0 +1,87 @@
+"""Reproduction of *LDC: A Lower-Level Driven Compaction Method to Optimize
+SSD-Oriented Key-Value Stores* (ICDE 2019).
+
+The library provides:
+
+* :class:`~repro.lsm.db.DB` — a complete LSM-tree key-value store (the
+  LevelDB-analogue substrate) running over a simulated SSD in virtual time;
+* :class:`~repro.core.ldc.LDCPolicy` — the paper's lower-level driven
+  compaction (link & merge), alongside the UDC baseline
+  (:class:`~repro.lsm.compaction.leveled.LeveledCompaction`) and a
+  size-tiered lazy baseline;
+* :mod:`repro.workload` — a YCSB-like workload generator covering the
+  paper's Table III workloads;
+* :mod:`repro.model` — the analytical performance model of §II–III;
+* :mod:`repro.harness` — virtual-time measurement (latency percentiles,
+  throughput, compaction I/O) and per-figure experiment entry points.
+
+Quickstart
+----------
+>>> from repro import DB, LDCPolicy
+>>> db = DB(policy=LDCPolicy())
+>>> db.put(b"user1", b"hello")
+>>> db.get(b"user1")
+b'hello'
+"""
+
+from .core import AdaptiveThreshold, FrozenRegion, LDCPolicy, Slice
+from .errors import (
+    ClosedError,
+    CompactionError,
+    ConfigError,
+    DeviceError,
+    EngineError,
+    ReproError,
+    WorkloadError,
+)
+from .lsm import (
+    DB,
+    WriteBatch,
+    CostModel,
+    DelayedCompaction,
+    LeveledCompaction,
+    LSMConfig,
+    TieredCompaction,
+)
+from .ssd import (
+    BALANCED_FLASH,
+    ENTERPRISE_PCIE,
+    HDD,
+    SATA_SSD,
+    SimClock,
+    SimulatedSSD,
+    SSDProfile,
+    get_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DB",
+    "WriteBatch",
+    "LSMConfig",
+    "CostModel",
+    "LDCPolicy",
+    "LeveledCompaction",
+    "TieredCompaction",
+    "DelayedCompaction",
+    "Slice",
+    "FrozenRegion",
+    "AdaptiveThreshold",
+    "SimClock",
+    "SimulatedSSD",
+    "SSDProfile",
+    "get_profile",
+    "ENTERPRISE_PCIE",
+    "SATA_SSD",
+    "BALANCED_FLASH",
+    "HDD",
+    "ReproError",
+    "ConfigError",
+    "DeviceError",
+    "EngineError",
+    "ClosedError",
+    "CompactionError",
+    "WorkloadError",
+    "__version__",
+]

@@ -1,0 +1,176 @@
+"""Command-line interface: run paper experiments from the shell.
+
+Usage::
+
+    python -m repro list                       # show available experiments
+    python -m repro fig08 --ops 60000          # reproduce one figure
+    python -m repro fig12be --ops 30000 --keys 10000
+    python -m repro describe                   # quick engine demo + describe()
+
+The heavy lifting lives in :mod:`repro.harness.experiments`; this module
+maps experiment names to those entry points and prints their results as
+tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .harness import experiments
+from .harness.report import format_table, mib
+
+
+def _print_output(output: experiments.ExperimentOutput) -> None:
+    rows = []
+    for row in output.rows:
+        result = row.result
+        rows.append(
+            (
+                row.workload,
+                row.policy,
+                round(result.throughput_ops_s),
+                round(result.mean_latency_us, 1),
+                round(result.latencies.percentile(99.9), 1),
+                round(result.write_amplification, 2),
+                round(mib(result.compaction_bytes_total), 1),
+                round(mib(result.space_bytes), 2),
+            )
+        )
+    print(
+        format_table(
+            [
+                "workload",
+                "policy",
+                "ops/s",
+                "avg us",
+                "p99.9 us",
+                "write amp",
+                "compact MiB",
+                "space MiB",
+            ],
+            rows,
+            title=f"experiment: {output.name}",
+        )
+    )
+
+
+def _run_fig01(ops: int, keys: int) -> None:
+    out = experiments.fig01_latency_fluctuation(ops=ops, key_space=keys)
+    points = out["points"]
+    rows = [
+        (f"{p.start_us / 1e3:.1f}ms", p.count, round(p.mean_latency_us, 1))
+        for p in points[:40]
+    ]
+    print(format_table(["bucket", "ops", "mean latency us"], rows, title="fig01"))
+    print(f"fluctuation ratio: {out['fluctuation_ratio']:.1f}x (paper: up to 49.13x)")
+
+
+def _run_tab1(ops: int, keys: int) -> None:
+    shares = experiments.tab1_time_breakdown(ops=ops, key_space=keys)
+    rows = [(name, f"{share:.1%}") for name, share in shares.items()]
+    print(format_table(["module", "time share"], rows, title="Table I"))
+
+
+def _run_fig08(ops: int, keys: int) -> None:
+    out = experiments.fig08_tail_latency(ops=ops, key_space=keys)
+    rows = [
+        (f"P{pct:g}", round(out["UDC"][pct], 1), round(out["LDC"][pct], 1))
+        for pct in sorted(out["UDC"])
+    ]
+    print(format_table(["percentile", "UDC us", "LDC us"], rows, title="fig08"))
+
+
+def _run_fig13(ops: int, keys: int) -> None:
+    out = experiments.fig13_bloom_ro(ops=ops, key_space=keys)
+    rows = [
+        (bits, int(d["block_reads"]), round(d["filter_bytes_per_table"] / 1024, 2))
+        for bits, d in out.items()
+    ]
+    print(format_table(["bits/key", "block reads", "filter KiB"], rows, title="fig13"))
+
+
+def _matrix_runner(fn: Callable[..., experiments.ExperimentOutput]):
+    def run(ops: int, keys: int) -> None:
+        _print_output(fn(ops=ops, key_space=keys))
+
+    return run
+
+
+def _counts_runner(fn: Callable[..., experiments.ExperimentOutput]):
+    def run(ops: int, keys: int) -> None:
+        _print_output(fn(request_counts=(ops // 3, ops * 2 // 3, ops)))
+
+    return run
+
+
+def _run_describe(ops: int, keys: int) -> None:
+    import random
+
+    from . import DB, LDCPolicy
+
+    db = DB(policy=LDCPolicy())
+    rng = random.Random(0)
+    for _ in range(min(ops, 20_000)):
+        db.put(str(rng.randrange(keys)).zfill(16).encode(), b"v" * 128)
+    print(db.describe())
+
+
+EXPERIMENTS: Dict[str, Callable[[int, int], None]] = {
+    "fig01": _run_fig01,
+    "tab1": _run_tab1,
+    "fig07": _matrix_runner(experiments.fig07_fanout_udc),
+    "fig08": _run_fig08,
+    "fig09": _matrix_runner(experiments.fig09_avg_latency),
+    "fig10a": _matrix_runner(experiments.fig10a_throughput_get),
+    "fig10b": _matrix_runner(experiments.fig10b_throughput_scan),
+    "fig10c": _matrix_runner(experiments.fig10c_compaction_io),
+    "fig11": _matrix_runner(experiments.fig11_zipf),
+    "fig12ad": _matrix_runner(experiments.fig12ad_slicelink_threshold),
+    "fig12be": _matrix_runner(experiments.fig12be_fanout_sweep),
+    "fig12cf": _matrix_runner(experiments.fig12cf_bloom_rwb),
+    "fig13": _run_fig13,
+    "fig14": _counts_runner(experiments.fig14_scalability),
+    "fig15": _counts_runner(experiments.fig15_space),
+    "adaptive": _matrix_runner(experiments.ablation_adaptive_threshold),
+    "tiered": _matrix_runner(experiments.ablation_tiered_tail),
+    "asymmetry": _matrix_runner(experiments.ablation_device_asymmetry),
+    "describe": _run_describe,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from the LDC paper (ICDE 2019).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, or 'list' to enumerate",
+    )
+    parser.add_argument("--ops", type=int, default=20_000, help="measured operations")
+    parser.add_argument("--keys", type=int, default=8_000, help="key-space size")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    runner = EXPERIMENTS.get(args.experiment)
+    if runner is None:
+        known = ", ".join(EXPERIMENTS)
+        print(f"unknown experiment {args.experiment!r}; known: list, {known}",
+              file=sys.stderr)
+        return 2
+    runner(args.ops, args.keys)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

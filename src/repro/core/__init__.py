@@ -1,0 +1,23 @@
+"""The paper's primary contribution: Lower-level Driven Compaction.
+
+* :class:`~repro.core.ldc.LDCPolicy` — the link & merge compaction policy
+  (Algorithm 1);
+* :class:`~repro.core.slice.Slice` — key-subrange views of frozen files;
+* :class:`~repro.core.frozen.FrozenRegion` — refcounted frozen storage;
+* :class:`~repro.core.adaptive.AdaptiveThreshold` — the self-tuning
+  SliceLink threshold of §III-B.4.
+"""
+
+from .adaptive import AdaptiveThreshold
+from .frozen import FrozenRegion
+from .ldc import LDCPolicy
+from .slice import Slice, attach_slice, slices_newest_first
+
+__all__ = [
+    "LDCPolicy",
+    "Slice",
+    "attach_slice",
+    "slices_newest_first",
+    "FrozenRegion",
+    "AdaptiveThreshold",
+]

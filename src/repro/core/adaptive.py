@@ -1,0 +1,79 @@
+"""Self-adaptive SliceLink threshold (§III-B.4).
+
+The SliceLink threshold ``T_s`` trades write amplification against read
+cost: a large threshold accumulates more upper-level data per merge (fewer
+extra I/Os, better writes) but leaves more linked slices for reads to
+check.  The paper prescribes tuning ``T_s`` to the workload's read/write
+mix: small for read-dominated workloads, large for write-dominated ones,
+with the 50/50 optimum at roughly the fan-out (Fig. 12a).
+
+The controller tracks the write ratio with an exponential moving average
+and maps it linearly so that:
+
+* write ratio 0.0 (read-only)  -> ``T_s = 1`` (merge almost immediately);
+* write ratio 0.5 (balanced)   -> ``T_s = fan_out`` (the paper's optimum);
+* write ratio 1.0 (write-only) -> ``T_s = 2 * fan_out``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class AdaptiveThreshold:
+    """EWMA-driven controller for LDC's SliceLink threshold ``T_s``."""
+
+    def __init__(
+        self,
+        fan_out: int,
+        initial_write_ratio: float = 0.5,
+        smoothing: float = 0.02,
+        update_every: int = 256,
+    ) -> None:
+        if fan_out < 2:
+            raise ConfigError("fan_out must be at least 2")
+        if not 0 <= initial_write_ratio <= 1:
+            raise ConfigError("initial_write_ratio must lie in [0, 1]")
+        if not 0 < smoothing <= 1:
+            raise ConfigError("smoothing must lie in (0, 1]")
+        if update_every <= 0:
+            raise ConfigError("update_every must be positive")
+        self._fan_out = fan_out
+        self._ratio = initial_write_ratio
+        self._smoothing = smoothing
+        self._update_every = update_every
+        self._pending_ops = 0
+        self._pending_writes = 0
+        self._threshold = self._map(initial_write_ratio)
+
+    def _map(self, write_ratio: float) -> int:
+        return max(1, round(2 * self._fan_out * write_ratio))
+
+    # ------------------------------------------------------------------
+    def observe(self, is_write: bool) -> None:
+        """Record one user operation; refresh ``T_s`` every batch."""
+        self._pending_ops += 1
+        if is_write:
+            self._pending_writes += 1
+        if self._pending_ops >= self._update_every:
+            batch_ratio = self._pending_writes / self._pending_ops
+            self._ratio += self._smoothing * (batch_ratio - self._ratio)
+            self._threshold = self._map(self._ratio)
+            self._pending_ops = 0
+            self._pending_writes = 0
+
+    @property
+    def threshold(self) -> int:
+        """Current ``T_s``."""
+        return self._threshold
+
+    @property
+    def write_ratio(self) -> float:
+        """Smoothed estimate of the workload's write fraction."""
+        return self._ratio
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AdaptiveThreshold(T_s={self._threshold}, "
+            f"write_ratio={self._ratio:.3f})"
+        )

@@ -1,0 +1,120 @@
+"""Slices and SliceLinks: the metadata of LDC's *link* phase (§III-B.1).
+
+When an upper-level SSTable is selected for compaction, LDC does not move
+any data.  It freezes the file and records, for each lower-level SSTable
+with an overlapping responsibility range, a :class:`Slice` — a key-subrange
+*view* of the frozen file.  A slice is pure in-memory metadata (the paper's
+"light-weighted link action"); the bytes it denotes stay inside the frozen
+file until the merge phase reads them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..lsm.keys import clamp_range, in_range
+from ..lsm.record import KVRecord
+from ..lsm.sstable import SSTable
+from ..errors import EngineError
+
+
+class Slice:
+    """A key-subrange view ``[lo, hi)`` of a frozen source SSTable.
+
+    ``link_seq`` is a store-wide monotonically increasing link timestamp:
+    slices attached to the same lower-level SSTable are consulted
+    newest-link-first on reads, because later-linked data is newer
+    (§III-B.3: "linked slices have higher priority for reading").
+    """
+
+    __slots__ = ("source", "lo", "hi", "link_seq", "size_bytes", "record_count")
+
+    def __init__(
+        self,
+        source: SSTable,
+        lo: Optional[bytes],
+        hi: Optional[bytes],
+        link_seq: int,
+    ) -> None:
+        if not source.frozen:
+            raise EngineError(
+                f"slices may only view frozen files; {source.file_id} is active"
+            )
+        self.source = source
+        self.lo = lo
+        self.hi = hi
+        self.link_seq = link_seq
+        #: Cached logical size of the slice — this is the quantity that
+        #: accumulates toward the SliceLink threshold T_s.
+        self.size_bytes = source.bytes_in_range(lo, hi)
+        self.record_count = source.count_in_range(lo, hi)
+
+    # ------------------------------------------------------------------
+    def covers_key(self, key: bytes) -> bool:
+        return in_range(key, self.lo, self.hi)
+
+    def get(self, key: bytes) -> Optional[KVRecord]:
+        """Point lookup inside the slice (None outside its range)."""
+        if not self.covers_key(key):
+            return None
+        return self.source.get(key)
+
+    def records(self) -> Sequence[KVRecord]:
+        """All records this slice denotes, key-sorted."""
+        return self.source.records_in_range(self.lo, self.hi)
+
+    def records_in_range(
+        self, lo: Optional[bytes], hi: Optional[bytes]
+    ) -> Sequence[KVRecord]:
+        """Records in the intersection of the slice with ``[lo, hi)``."""
+        clamped_lo, clamped_hi = clamp_range(self.lo, self.hi, lo, hi)
+        return self.source.records_in_range(clamped_lo, clamped_hi)
+
+    # ------------------------------------------------------------------
+    # I/O cost queries: a slice read touches only the source blocks that
+    # overlap the slice range — the saving over UDC's whole-file reads.
+    # ------------------------------------------------------------------
+    def read_block_bytes(self) -> int:
+        """Device bytes to load the whole slice during a merge."""
+        return self.source.block_bytes_in_range(self.lo, self.hi)
+
+    def point_read_block_bytes(self, key: bytes) -> int:
+        """Device bytes to check ``key`` inside this slice (one block)."""
+        if not self.covers_key(key):
+            return 0
+        return self.source.block_bytes_for_key(key)
+
+    def scan_block_bytes(self, lo: Optional[bytes], hi: Optional[bytes]) -> int:
+        """Device bytes a scan over ``[lo, hi)`` reads from this slice."""
+        clamped_lo, clamped_hi = clamp_range(self.lo, self.hi, lo, hi)
+        return self.source.block_bytes_in_range(clamped_lo, clamped_hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Slice(src={self.source.file_id}, lo={self.lo!r}, hi={self.hi!r}, "
+            f"bytes={self.size_bytes}, link_seq={self.link_seq})"
+        )
+
+
+def attach_slice(target: SSTable, piece: Slice) -> None:
+    """Record a SliceLink: ``piece`` now belongs to lower-level ``target``."""
+    if target.frozen:
+        raise EngineError(
+            f"cannot link onto frozen file {target.file_id}; links target "
+            f"active lower-level SSTables"
+        )
+    target.slice_links.append(piece)
+    target.linked_bytes += piece.size_bytes
+
+
+def detach_all_slices(target: SSTable) -> List[Slice]:
+    """Remove and return every SliceLink of ``target`` (merge consumed them)."""
+    detached = target.slice_links
+    target.slice_links = []
+    target.linked_bytes = 0
+    return detached
+
+
+def slices_newest_first(target: SSTable) -> List[Slice]:
+    """Slices of ``target`` in read-priority order (latest link first)."""
+    return sorted(target.slice_links, key=lambda piece: piece.link_seq, reverse=True)

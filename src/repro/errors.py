@@ -1,0 +1,37 @@
+"""Exception hierarchy for the LDC reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  The hierarchy mirrors the subsystems: configuration
+problems, engine (LSM) violations, device-model misuse, and workload
+specification errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class DeviceError(ReproError):
+    """The simulated storage device was used incorrectly."""
+
+
+class EngineError(ReproError):
+    """An LSM engine invariant was violated or misused."""
+
+
+class ClosedError(EngineError):
+    """An operation was issued against a closed database."""
+
+
+class CompactionError(EngineError):
+    """A compaction policy produced an inconsistent plan or result."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is malformed."""

@@ -1,0 +1,502 @@
+"""Per-figure experiment definitions.
+
+One function per table/figure of the paper's evaluation (§IV), each
+returning plain data structures the benchmarks print and compare against
+the paper's reported numbers.  All experiments share the simulation-scale
+defaults (`DEFAULT_OPS` operations over `DEFAULT_KEY_SPACE` keys, 16-B
+keys / 1-KB values as in §IV-A) and accept overrides so tests can run tiny
+versions and benches can run larger ones.
+
+The absolute numbers differ from the paper's (their testbed: C++ LevelDB,
+800 GB PCIe SSD, 10–30 M requests; ours: a Python engine over a simulated
+device at ~10^5 requests).  What must match — and what the benches assert —
+is the *shape*: who wins, roughly by how much, and where optima sit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .latency import PAPER_PERCENTILES
+from .runner import RunResult, run_workload
+from ..core.ldc import LDCPolicy
+from ..lsm.compaction.delayed import DelayedCompaction
+from ..lsm.compaction.leveled import LeveledCompaction
+from ..lsm.compaction.tiered import TieredCompaction
+from ..lsm.config import LSMConfig
+from ..ssd.profile import ENTERPRISE_PCIE, SSDProfile
+from ..workload import spec as workloads
+from ..workload.spec import WorkloadSpec
+
+DEFAULT_OPS = 60_000
+DEFAULT_KEY_SPACE = 20_000
+
+#: Scan length used by the SCN experiments.  The paper scans 100 records
+#: (~100 KB) against 2 MB SSTables — 5% of a file.  Our simulation-scale
+#: SSTables are 64 KB, so the equivalent scan is ~6 records (~6 KB, 9% of
+#: a file); keeping the paper's literal 100 would make every scan span
+#: multiple files per level, a geometry the paper's testbed never sees.
+SCALED_SCAN_LENGTH = 6
+
+
+def experiment_config(**overrides: object) -> LSMConfig:
+    """The shared engine configuration for paper experiments."""
+    return LSMConfig(**overrides)  # type: ignore[arg-type]
+
+
+def udc_factory() -> LeveledCompaction:
+    return LeveledCompaction()
+
+
+def ldc_factory(
+    threshold: Optional[int] = None, adaptive: Optional[bool] = None
+) -> Callable[[], LDCPolicy]:
+    def make() -> LDCPolicy:
+        return LDCPolicy(threshold=threshold, adaptive=adaptive)
+
+    return make
+
+
+def tiered_factory() -> TieredCompaction:
+    return TieredCompaction()
+
+
+def delayed_factory() -> DelayedCompaction:
+    return DelayedCompaction()
+
+
+BOTH_POLICIES: Sequence[Tuple[str, Callable[[], object]]] = (
+    ("UDC", udc_factory),
+    ("LDC", LDCPolicy),
+)
+
+
+@dataclass
+class ComparisonRow:
+    """One (workload, policy) measurement used across the figures."""
+
+    workload: str
+    policy: str
+    result: RunResult
+
+
+@dataclass
+class ExperimentOutput:
+    """Generic experiment result: rows plus free-form derived metrics."""
+
+    name: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+    derived: Dict[str, float] = field(default_factory=dict)
+
+    def result_for(self, workload: str, policy: str) -> RunResult:
+        for row in self.rows:
+            if row.workload == workload and row.policy == policy:
+                return row.result
+        raise KeyError(f"no row for ({workload!r}, {policy!r})")
+
+
+def _run_matrix(
+    name: str,
+    specs: Sequence[WorkloadSpec],
+    policies: Sequence[Tuple[str, Callable[[], object]]] = BOTH_POLICIES,
+    config: Optional[LSMConfig] = None,
+    profile: SSDProfile = ENTERPRISE_PCIE,
+) -> ExperimentOutput:
+    output = ExperimentOutput(name=name)
+    for spec_item in specs:
+        for policy_name, factory in policies:
+            result = run_workload(spec_item, factory, config=config, profile=profile)
+            output.rows.append(ComparisonRow(spec_item.name, policy_name, result))
+    return output
+
+
+def _paper_mixes(
+    names: Sequence[str], ops: int, key_space: int, **overrides: object
+) -> List[WorkloadSpec]:
+    return [
+        workloads.TABLE_III[name](
+            num_operations=ops, key_space=key_space, **overrides
+        )
+        for name in names
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 — latency fluctuation of the stock (UDC) store
+# ----------------------------------------------------------------------
+def fig01_latency_fluctuation(
+    ops: int = DEFAULT_OPS,
+    key_space: int = DEFAULT_KEY_SPACE,
+    bucket_us: float = 500.0,
+) -> Dict[str, object]:
+    """Average latency per virtual-time bucket under a mixed workload.
+
+    The paper mixes 10 M reads with 10 M writes on stock LevelDB and
+    observes write-latency fluctuation up to 49.13x between buckets.  The
+    paper buckets by wall-clock second; our virtual timescale is ~10^4x
+    compressed (small files, few ops), so the default bucket is scaled
+    down accordingly — what matters is that a bucket holds a handful of
+    operations, the granularity at which compaction stalls are visible.
+    """
+    spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
+    result = run_workload(
+        spec_item, udc_factory, config=experiment_config(), timeline_bucket_us=bucket_us
+    )
+    points = result.timeline.points()
+    return {
+        "points": points,
+        "fluctuation_ratio": result.timeline.fluctuation_ratio(),
+        "result": result,
+    }
+
+
+# ----------------------------------------------------------------------
+# Table I — where the time goes (compaction dominates)
+# ----------------------------------------------------------------------
+def tab1_time_breakdown(
+    ops: int = DEFAULT_OPS, key_space: int = DEFAULT_KEY_SPACE
+) -> Dict[str, float]:
+    """Virtual-time share per engine activity under pure insertion.
+
+    Paper (perf on LevelDB, 10 M inserts): DoCompactionWork 61.4%,
+    file system 20.9%, DoWrite 8.04%, others 9.66%.  Our analogue maps
+    compaction -> DoCompactionWork, flush+wal -> file system,
+    write -> DoWrite.
+    """
+    spec_item = workloads.wo(num_operations=ops, key_space=key_space)
+    result = run_workload(spec_item, udc_factory, config=experiment_config())
+    share = result.activity_share
+    return {
+        "DoCompactionWork": share.get("compaction", 0.0),
+        "file system": share.get("flush", 0.0) + share.get("wal", 0.0),
+        "DoWrite": share.get("write", 0.0),
+        "Others": share.get("read", 0.0) + share.get("scan", 0.0),
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — tuning UDC's fan-out alone does not work
+# ----------------------------------------------------------------------
+def fig07_fanout_udc(
+    fan_outs: Sequence[int] = (3, 5, 10, 25, 50, 100),
+    ops: int = DEFAULT_OPS,
+    key_space: int = DEFAULT_KEY_SPACE,
+) -> ExperimentOutput:
+    """UDC write amplification and throughput across fan-outs (RWB)."""
+    output = ExperimentOutput(name="fig07")
+    for fan_out in fan_outs:
+        config = experiment_config(fan_out=fan_out)
+        spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
+        result = run_workload(spec_item, udc_factory, config=config)
+        output.rows.append(ComparisonRow(f"fanout={fan_out}", "UDC", result))
+    return output
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — tail latency percentiles, UDC vs LDC
+# ----------------------------------------------------------------------
+def fig08_tail_latency(
+    ops: int = DEFAULT_OPS,
+    key_space: int = DEFAULT_KEY_SPACE,
+    percentiles: Sequence[float] = PAPER_PERCENTILES,
+) -> Dict[str, Dict[float, float]]:
+    """P90–P99.99 latencies for both policies on a 50/50 mix.
+
+    Paper: P99.9 improves from 469.66 µs to 179.53 µs (2.62x) and P99.99
+    from 2688.23 µs to 1305.96 µs.
+    """
+    spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
+    out: Dict[str, Dict[float, float]] = {}
+    for policy_name, factory in BOTH_POLICIES:
+        result = run_workload(spec_item, factory, config=experiment_config())
+        out[policy_name] = result.latencies.percentiles(percentiles)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — average latency by workload
+# ----------------------------------------------------------------------
+def fig09_avg_latency(
+    ops: int = DEFAULT_OPS, key_space: int = DEFAULT_KEY_SPACE
+) -> ExperimentOutput:
+    """Average latency of WH / RWB / RH for both policies.
+
+    Paper: LDC's average latency drops to 43.3% (WH) and 45.6% (RWB) of
+    UDC's; RH is comparable.
+    """
+    specs = _paper_mixes(("WH", "RWB", "RH"), ops, key_space)
+    return _run_matrix("fig09", specs, config=experiment_config())
+
+
+# ----------------------------------------------------------------------
+# Fig. 10a/b — throughput; Fig. 10c — compaction I/O
+# ----------------------------------------------------------------------
+def fig10a_throughput_get(
+    ops: int = DEFAULT_OPS, key_space: int = DEFAULT_KEY_SPACE
+) -> ExperimentOutput:
+    """Total throughput for WO/WH/RWB/RH/RO (paper: +78.0/+73.7/+80.2/+16/~0%)."""
+    specs = _paper_mixes(("WO", "WH", "RWB", "RH", "RO"), ops, key_space)
+    return _run_matrix("fig10a", specs, config=experiment_config())
+
+
+def fig10b_throughput_scan(
+    ops: Optional[int] = None, key_space: int = DEFAULT_KEY_SPACE
+) -> ExperimentOutput:
+    """Throughput for SCN-WH/RWB/RH (paper: +86.2/+81.1/+49.1%).
+
+    Scans are ~100x heavier than point ops, so the default op count is
+    reduced to keep wall-clock time in check.
+    """
+    if ops is None:
+        ops = DEFAULT_OPS // 3
+    specs = _paper_mixes(
+        ("SCN-WH", "SCN-RWB", "SCN-RH"),
+        ops,
+        key_space,
+        scan_length=SCALED_SCAN_LENGTH,
+    )
+    return _run_matrix("fig10b", specs, config=experiment_config())
+
+
+def fig10c_compaction_io(
+    ops: int = DEFAULT_OPS, key_space: int = DEFAULT_KEY_SPACE
+) -> ExperimentOutput:
+    """Compaction read/write bytes per workload (paper: LDC ~halves both)."""
+    specs = _paper_mixes(("WO", "WH", "RWB", "RH"), ops, key_space)
+    specs.append(
+        workloads.scn_rwb(
+            num_operations=max(1, ops // 3),
+            key_space=key_space,
+            scan_length=SCALED_SCAN_LENGTH,
+        )
+    )
+    return _run_matrix("fig10c", specs, config=experiment_config())
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 — uniform vs Zipf distributions
+# ----------------------------------------------------------------------
+def fig11_zipf(
+    zipf_constants: Sequence[float] = (1.0, 2.0, 5.0),
+    ops: int = DEFAULT_OPS,
+    key_space: int = DEFAULT_KEY_SPACE,
+) -> ExperimentOutput:
+    """RWB throughput under uniform and Zipf key choice.
+
+    Paper: both policies speed up as skew rises; LDC's edge grows from
+    38.7% (uniform) to 67.3% (Zipf-5).
+    """
+    specs = [workloads.rwb(num_operations=ops, key_space=key_space)]
+    for constant in zipf_constants:
+        specs.append(
+            workloads.rwb(
+                num_operations=ops,
+                key_space=key_space,
+                distribution="zipf",
+                zipf_constant=constant,
+            ).with_overrides(name=f"Zipf{constant:g}")
+        )
+    return _run_matrix("fig11", specs, config=experiment_config())
+
+
+# ----------------------------------------------------------------------
+# Fig. 12a/d — SliceLink threshold sweep
+# ----------------------------------------------------------------------
+def fig12ad_slicelink_threshold(
+    thresholds: Sequence[int] = (2, 5, 10, 20, 40),
+    ops: int = DEFAULT_OPS,
+    key_space: int = DEFAULT_KEY_SPACE,
+) -> ExperimentOutput:
+    """LDC throughput and compaction I/O across T_s (paper optimum: fan-out)."""
+    output = ExperimentOutput(name="fig12ad")
+    spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
+    for threshold in thresholds:
+        result = run_workload(
+            spec_item, ldc_factory(threshold=threshold), config=experiment_config()
+        )
+        output.rows.append(ComparisonRow(f"T_s={threshold}", "LDC", result))
+    reference = run_workload(spec_item, udc_factory, config=experiment_config())
+    output.rows.append(ComparisonRow("reference", "UDC", reference))
+    return output
+
+
+# ----------------------------------------------------------------------
+# Fig. 12b/e — fan-out sweep for both policies
+# ----------------------------------------------------------------------
+def fig12be_fanout_sweep(
+    fan_outs: Sequence[int] = (3, 5, 10, 25, 50, 100),
+    ops: int = DEFAULT_OPS,
+    key_space: int = DEFAULT_KEY_SPACE,
+) -> ExperimentOutput:
+    """Throughput / compaction I/O vs fan-out (paper: LDC wins 8.8–187.9%,
+    UDC optimum ~3, LDC optimum ~25)."""
+    output = ExperimentOutput(name="fig12be")
+    spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
+    for fan_out in fan_outs:
+        config = experiment_config(fan_out=fan_out)
+        for policy_name, factory in BOTH_POLICIES:
+            result = run_workload(spec_item, factory, config=config)
+            output.rows.append(
+                ComparisonRow(f"fanout={fan_out}", policy_name, result)
+            )
+    return output
+
+
+# ----------------------------------------------------------------------
+# Fig. 12c/f — Bloom filter size sweep (RWB)
+# ----------------------------------------------------------------------
+def fig12cf_bloom_rwb(
+    bits_per_key: Sequence[int] = (10, 50, 100, 200),
+    ops: int = DEFAULT_OPS,
+    key_space: int = DEFAULT_KEY_SPACE,
+) -> ExperimentOutput:
+    """RWB performance across Bloom sizes (paper: flat from 10 bits/key up)."""
+    output = ExperimentOutput(name="fig12cf")
+    spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
+    for bits in bits_per_key:
+        config = experiment_config(bloom_bits_per_key=bits)
+        for policy_name, factory in BOTH_POLICIES:
+            result = run_workload(spec_item, factory, config=config)
+            output.rows.append(ComparisonRow(f"bits={bits}", policy_name, result))
+    return output
+
+
+# ----------------------------------------------------------------------
+# Fig. 13 — Bloom filters under a read-only workload
+# ----------------------------------------------------------------------
+def fig13_bloom_ro(
+    bits_per_key: Sequence[int] = (2, 4, 8, 16, 32, 64, 128),
+    ops: int = DEFAULT_OPS,
+    key_space: int = DEFAULT_KEY_SPACE,
+) -> Dict[int, Dict[str, float]]:
+    """Data-block reads and filter size vs bits/key on a read-only store.
+
+    Paper: block reads stop improving past ~16 bits/key; a 2-MB SSTable's
+    filter is ~11.3 KB at 8 bits/key, growing to 67.3 KB at 128.
+    """
+    out: Dict[int, Dict[str, float]] = {}
+    for bits in bits_per_key:
+        config = experiment_config(bloom_bits_per_key=bits)
+        spec_item = workloads.ro(num_operations=ops, key_space=key_space)
+        result = run_workload(spec_item, LDCPolicy, config=config)
+        out[bits] = {
+            "block_reads": float(result.sstable_blocks_read),
+            "bloom_skips": float(result.bloom_negative_skips),
+            "reads": float(ops),
+            "filter_bytes_per_table": _mean_filter_bytes(config, key_space),
+        }
+    return out
+
+
+def _mean_filter_bytes(config: LSMConfig, key_space: int) -> float:
+    """Expected Bloom size for one full SSTable under this config."""
+    record_bytes = 16 + workloads.PAPER_VALUE_BYTES + 13
+    keys_per_table = max(1, config.sstable_target_bytes // record_bytes)
+    return keys_per_table * config.bloom_bits_per_key / 8.0
+
+
+# ----------------------------------------------------------------------
+# Fig. 14 — scalability in request count
+# ----------------------------------------------------------------------
+def fig14_scalability(
+    request_counts: Sequence[int] = (20_000, 40_000, 80_000, 120_000),
+    key_space_ratio: float = 0.33,
+) -> ExperimentOutput:
+    """RWB at growing request counts (paper: 5–30 M; LDC holds +39–65%
+    throughput and -43–47% compaction I/O throughout)."""
+    output = ExperimentOutput(name="fig14")
+    for count in request_counts:
+        key_space = max(1000, int(count * key_space_ratio))
+        spec_item = workloads.rwb(num_operations=count, key_space=key_space)
+        for policy_name, factory in BOTH_POLICIES:
+            result = run_workload(spec_item, factory, config=experiment_config())
+            output.rows.append(ComparisonRow(f"N={count}", policy_name, result))
+    return output
+
+
+# ----------------------------------------------------------------------
+# Fig. 15 — space efficiency
+# ----------------------------------------------------------------------
+def fig15_space(
+    request_counts: Sequence[int] = (20_000, 40_000, 80_000, 120_000),
+    key_space_ratio: float = 0.33,
+) -> ExperimentOutput:
+    """Final store size, UDC vs LDC (paper: LDC +3.37–10.0%, avg 6.78%).
+
+    Our simulated trees are shallower than the paper's 10 GB store, so the
+    frozen-region share is larger; the bench reports overhead alongside the
+    bottom-level share to make the geometry dependence visible.
+    """
+    output = ExperimentOutput(name="fig15")
+    for count in request_counts:
+        key_space = max(1000, int(count * key_space_ratio))
+        spec_item = workloads.rwb(num_operations=count, key_space=key_space)
+        for policy_name, factory in BOTH_POLICIES:
+            result = run_workload(spec_item, factory, config=experiment_config())
+            output.rows.append(ComparisonRow(f"N={count}", policy_name, result))
+    return output
+
+
+# ----------------------------------------------------------------------
+# Ablations (beyond the paper's figures)
+# ----------------------------------------------------------------------
+def ablation_adaptive_threshold(
+    ops: int = DEFAULT_OPS, key_space: int = DEFAULT_KEY_SPACE
+) -> ExperimentOutput:
+    """Fixed vs self-adaptive T_s across read/write mixes (§III-B.4)."""
+    output = ExperimentOutput(name="ablation_adaptive")
+    for mix_name in ("WH", "RWB", "RH"):
+        spec_item = workloads.TABLE_III[mix_name](
+            num_operations=ops, key_space=key_space
+        )
+        for label, factory in (
+            ("LDC-fixed", ldc_factory(adaptive=False)),
+            ("LDC-adaptive", ldc_factory(adaptive=True)),
+        ):
+            result = run_workload(spec_item, factory, config=experiment_config())
+            output.rows.append(ComparisonRow(mix_name, label, result))
+    return output
+
+
+def ablation_tiered_tail(
+    ops: int = DEFAULT_OPS, key_space: int = DEFAULT_KEY_SPACE
+) -> ExperimentOutput:
+    """Measure the lazy baselines' tail latency (excluded from the paper's
+    Fig. 8 because lazy schemes 'introduce much larger tail latency').
+
+    Covers both lazy flavours the paper names: size-tiered (Cassandra /
+    RocksDB-universal style) and delayed batching (dCompaction style).
+    """
+    spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
+    policies = (
+        ("UDC", udc_factory),
+        ("LDC", LDCPolicy),
+        ("Tiered", tiered_factory),
+        ("Delayed", delayed_factory),
+    )
+    return _run_matrix("ablation_tiered", [spec_item], policies, experiment_config())
+
+
+def ablation_device_asymmetry(
+    write_bandwidths: Sequence[float] = (100.0, 250.0, 1000.0, 2000.0),
+    ops: int = DEFAULT_OPS,
+    key_space: int = DEFAULT_KEY_SPACE,
+) -> ExperimentOutput:
+    """LDC's edge vs the device's read/write asymmetry (§I motivation).
+
+    LDC trades reads for writes; on a symmetric device (write bandwidth ==
+    read bandwidth) the trade buys less.
+    """
+    output = ExperimentOutput(name="ablation_asymmetry")
+    spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
+    for bandwidth in write_bandwidths:
+        profile = ENTERPRISE_PCIE.scaled(write_bandwidth_mbps=bandwidth)
+        for policy_name, factory in BOTH_POLICIES:
+            result = run_workload(
+                spec_item, factory, config=experiment_config(), profile=profile
+            )
+            output.rows.append(
+                ComparisonRow(f"w_bw={bandwidth:g}MB/s", policy_name, result)
+            )
+    return output

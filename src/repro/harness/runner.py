@@ -1,0 +1,213 @@
+"""The workload runner: drive a DB with a workload spec, measure everything.
+
+``run_workload`` executes the paper's measurement protocol:
+
+1. build a fresh DB with the requested compaction policy over a fresh
+   simulated device;
+2. load ``preload_keys`` distinct keys (read-bearing workloads run against
+   a populated store, as in §IV-A), drain maintenance, reset statistics;
+3. execute the measured operations, recording each operation's virtual-time
+   latency (split by kind) and the Fig. 1-style timeline;
+4. return a :class:`RunResult` with throughput, percentiles, device I/O by
+   category, engine counters and space usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from .latency import LatencyRecorder, LatencyTimeline
+from ..errors import WorkloadError
+from ..lsm.config import LSMConfig
+from ..lsm.db import DB
+from ..ssd.profile import ENTERPRISE_PCIE, SSDProfile
+from ..workload.spec import WorkloadSpec
+from ..workload.ycsb import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    OP_RMW,
+    OP_SCAN,
+    WorkloadGenerator,
+)
+
+#: Factory producing a fresh policy instance per run (policies are stateful).
+PolicyFactory = Callable[[], object]
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one workload run."""
+
+    workload: str
+    policy: str
+    operations: int
+    elapsed_us: float
+    latencies: LatencyRecorder
+    write_latencies: LatencyRecorder
+    read_latencies: LatencyRecorder
+    scan_latencies: LatencyRecorder
+    timeline: LatencyTimeline
+    compaction_read_bytes: int
+    compaction_write_bytes: int
+    total_read_bytes: int
+    total_write_bytes: int
+    user_bytes_written: int
+    write_amplification: float
+    space_bytes: int
+    live_bytes: int
+    extra_space_bytes: int
+    flush_count: int
+    compaction_count: int
+    link_count: int
+    merge_count: int
+    trivial_moves: int
+    stall_events: int
+    sstable_blocks_read: int
+    bloom_negative_skips: int
+    activity_share: Dict[str, float] = field(default_factory=dict)
+    final_threshold: Optional[int] = None
+
+    @property
+    def throughput_ops_s(self) -> float:
+        """Operations per simulated second."""
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.operations / (self.elapsed_us / 1e6)
+
+    @property
+    def compaction_bytes_total(self) -> int:
+        return self.compaction_read_bytes + self.compaction_write_bytes
+
+    @property
+    def mean_latency_us(self) -> float:
+        return self.latencies.mean()
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric summary used by reports and tests."""
+        return {
+            "throughput_ops_s": self.throughput_ops_s,
+            "mean_latency_us": self.mean_latency_us,
+            "p99_us": self.latencies.percentile(99.0),
+            "p999_us": self.latencies.percentile(99.9),
+            "write_amplification": self.write_amplification,
+            "compaction_gib": self.compaction_bytes_total / 2**30,
+            "space_mib": self.space_bytes / 2**20,
+        }
+
+
+def build_db(
+    policy_factory: PolicyFactory,
+    config: Optional[LSMConfig] = None,
+    profile: SSDProfile = ENTERPRISE_PCIE,
+    seed: int = 0,
+) -> DB:
+    """Construct a fresh DB for one measured run."""
+    return DB(
+        config=config if config is not None else LSMConfig(),
+        policy=policy_factory(),
+        profile=profile,
+        seed=seed,
+    )
+
+
+def run_workload(
+    spec: WorkloadSpec,
+    policy_factory: PolicyFactory,
+    config: Optional[LSMConfig] = None,
+    profile: SSDProfile = ENTERPRISE_PCIE,
+    timeline_bucket_us: float = 1_000_000.0,
+    db: Optional[DB] = None,
+) -> RunResult:
+    """Run one workload against one policy and measure it.
+
+    Pass ``db`` to reuse a pre-built (e.g. pre-loaded) database; otherwise
+    a fresh one is created and loaded per the spec.
+    """
+    generator = WorkloadGenerator(spec)
+    if db is None:
+        db = build_db(policy_factory, config=config, profile=profile)
+        for operation in generator.preload_operations():
+            db.put(operation.key, operation.value)
+        db.policy.maybe_compact()
+        db.reset_measurements()
+
+    recorders = {
+        OP_PUT: LatencyRecorder(),
+        OP_DELETE: LatencyRecorder(),
+        OP_GET: LatencyRecorder(),
+        OP_SCAN: LatencyRecorder(),
+        OP_RMW: LatencyRecorder(),
+    }
+    overall = LatencyRecorder()
+    timeline = LatencyTimeline(bucket_us=timeline_bucket_us)
+    clock = db.clock
+    start_time = clock.now()
+    count = 0
+
+    for operation in generator.operations():
+        begin = clock.now()
+        if operation.kind == OP_PUT:
+            db.put(operation.key, operation.value)
+        elif operation.kind == OP_GET:
+            db.get(operation.key)
+        elif operation.kind == OP_SCAN:
+            db.scan(operation.key, operation.scan_length)
+        elif operation.kind == OP_DELETE:
+            db.delete(operation.key)
+        elif operation.kind == OP_RMW:
+            current = db.get(operation.key)
+            db.put(operation.key, operation.value or current or b"")
+        else:
+            raise WorkloadError(f"unknown operation kind {operation.kind!r}")
+        latency = clock.now() - begin
+        recorders[operation.kind].record(latency)
+        overall.record(latency)
+        timeline.record(begin, latency)
+        count += 1
+
+    elapsed = clock.now() - start_time
+    device_stats = db.device.stats
+    live = db.version.total_file_bytes()
+    extra = db.policy.extra_space_bytes()
+    write_recorder = _merge_recorders(recorders[OP_PUT], recorders[OP_DELETE])
+    final_threshold = getattr(db.policy, "threshold", None)
+    return RunResult(
+        workload=spec.name,
+        policy=db.policy.name,
+        operations=count,
+        elapsed_us=elapsed,
+        latencies=overall,
+        write_latencies=write_recorder,
+        read_latencies=recorders[OP_GET],
+        scan_latencies=recorders[OP_SCAN],
+        timeline=timeline,
+        compaction_read_bytes=device_stats.compaction_bytes_read,
+        compaction_write_bytes=device_stats.compaction_bytes_written,
+        total_read_bytes=device_stats.total_bytes_read,
+        total_write_bytes=device_stats.total_bytes_written,
+        user_bytes_written=db.stats.user_bytes_written,
+        write_amplification=db.write_amplification(),
+        space_bytes=live + extra,
+        live_bytes=live,
+        extra_space_bytes=extra,
+        flush_count=db.stats.flush_count,
+        compaction_count=db.stats.compaction_count,
+        link_count=db.stats.link_count,
+        merge_count=db.stats.merge_count,
+        trivial_moves=db.stats.trivial_moves,
+        stall_events=db.stats.stall_events,
+        sstable_blocks_read=db.stats.sstable_blocks_read,
+        bloom_negative_skips=db.stats.bloom_negative_skips,
+        activity_share=db.stats.activity_share(),
+        final_threshold=final_threshold if isinstance(final_threshold, int) else None,
+    )
+
+
+def _merge_recorders(*recorders: LatencyRecorder) -> LatencyRecorder:
+    merged = LatencyRecorder()
+    for recorder in recorders:
+        for value in recorder.values:
+            merged.record(value)
+    return merged

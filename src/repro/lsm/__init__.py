@@ -1,0 +1,73 @@
+"""The LSM-tree engine substrate (a LevelDB-analogue in Python).
+
+Exposes the database facade, configuration, and the building blocks the
+paper's LDC policy plugs into.
+"""
+
+from .bloom import BloomFilter, theoretical_fpr
+from .builder import SSTableBuilder, build_tables
+from .cache import BlockCache
+from .config import KIB, MIB, CostModel, LSMConfig
+from .db import DB, WriteBatch
+from .iterators import live_records, merge_records
+from .keys import clamp_range, in_range, key_successor, ranges_overlap
+from .memtable import MemTable
+from .record import (
+    KIND_DELETE,
+    KIND_PUT,
+    KVRecord,
+    delete_record,
+    drop_tombstones,
+    newest_wins,
+    put_record,
+    visible_value,
+)
+from .skiplist import SkipList
+from .sstable import SSTable
+from .stats import EngineStats
+from .version import VersionSet
+from .wal import WriteAheadLog
+from .compaction import (
+    CompactionPolicy,
+    DelayedCompaction,
+    LeveledCompaction,
+    TieredCompaction,
+)
+
+__all__ = [
+    "DB",
+    "WriteBatch",
+    "LSMConfig",
+    "CostModel",
+    "KIB",
+    "MIB",
+    "MemTable",
+    "SkipList",
+    "SSTable",
+    "SSTableBuilder",
+    "build_tables",
+    "BloomFilter",
+    "BlockCache",
+    "theoretical_fpr",
+    "VersionSet",
+    "WriteAheadLog",
+    "EngineStats",
+    "KVRecord",
+    "KIND_PUT",
+    "KIND_DELETE",
+    "put_record",
+    "delete_record",
+    "newest_wins",
+    "drop_tombstones",
+    "visible_value",
+    "merge_records",
+    "live_records",
+    "key_successor",
+    "in_range",
+    "ranges_overlap",
+    "clamp_range",
+    "CompactionPolicy",
+    "LeveledCompaction",
+    "TieredCompaction",
+    "DelayedCompaction",
+]

@@ -1,0 +1,117 @@
+"""SSTableBuilder: turn a sorted record stream into size-capped SSTables.
+
+Both flushes (memtable -> Level 0) and compaction merges (§II-A Definition
+2.4 / LDC's merge phase) feed a key-sorted, deduplicated record stream into
+a builder, which cuts output files at ``sstable_target_bytes`` — the same
+role ``TableBuilder`` plays in LevelDB.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+from .config import LSMConfig
+from .record import KVRecord
+from .sstable import SSTable
+from ..errors import EngineError
+
+
+class SSTableBuilder:
+    """Accumulates sorted records and emits SSTables at the size cap.
+
+    Parameters
+    ----------
+    config:
+        Supplies the target file size, block size and Bloom sizing.
+    next_file_id:
+        Callable producing a fresh, monotonically increasing file id for
+        each emitted file (owned by the DB so ids are unique store-wide).
+    """
+
+    def __init__(self, config: LSMConfig, next_file_id: Callable[[], int]) -> None:
+        self._config = config
+        self._next_file_id = next_file_id
+        self._pending: List[KVRecord] = []
+        self._pending_bytes = 0
+        self._outputs: List[SSTable] = []
+        self._last_key: bytes | None = None
+
+    def add(self, record: KVRecord) -> None:
+        """Append one record; keys must arrive strictly increasing."""
+        if self._last_key is not None and record.key <= self._last_key:
+            raise EngineError(
+                f"builder requires strictly increasing keys: "
+                f"{record.key!r} after {self._last_key!r}"
+            )
+        self._last_key = record.key
+        self._pending.append(record)
+        self._pending_bytes += record.encoded_size
+        if self._pending_bytes >= self._config.sstable_target_bytes:
+            self._emit()
+
+    def add_all(self, records: Iterable[KVRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    def _emit(self) -> None:
+        if not self._pending:
+            return
+        table = SSTable.from_records(self._next_file_id(), self._pending, self._config)
+        self._outputs.append(table)
+        self._pending = []
+        self._pending_bytes = 0
+
+    def finish(self) -> List[SSTable]:
+        """Flush the tail file and return all emitted SSTables in key order."""
+        self._emit()
+        outputs = self._outputs
+        self._outputs = []
+        self._last_key = None
+        return outputs
+
+
+def build_tables(
+    records: Iterable[KVRecord],
+    config: LSMConfig,
+    next_file_id: Callable[[], int],
+) -> List[SSTable]:
+    """Convenience wrapper: build all SSTables for a sorted record stream."""
+    builder = SSTableBuilder(config, next_file_id)
+    builder.add_all(records)
+    return builder.finish()
+
+
+def build_balanced(
+    records: List[KVRecord],
+    config: LSMConfig,
+    next_file_id: Callable[[], int],
+) -> List[SSTable]:
+    """Build SSTables of near-equal size from a materialised record list.
+
+    The streaming builder cuts at the target size, which leaves a fragment
+    tail file (e.g. 1.2x target -> one full file plus a 0.2x sliver).
+    Compaction outputs are materialised anyway, so we can do better: pick
+    the file count that keeps every file close to the target and split the
+    byte total evenly.  Persistent slivers matter for LDC especially —
+    fragment files accumulate their own SliceLinks and multiply.
+    """
+    if not records:
+        return []
+    total = sum(record.encoded_size for record in records)
+    nfiles = max(1, round(total / config.sstable_target_bytes))
+    per_file = total / nfiles
+    outputs: List[SSTable] = []
+    chunk: List[KVRecord] = []
+    chunk_bytes = 0
+    emitted = 0
+    for record in records:
+        chunk.append(record)
+        chunk_bytes += record.encoded_size
+        if chunk_bytes >= per_file and emitted < nfiles - 1:
+            outputs.append(SSTable.from_records(next_file_id(), chunk, config))
+            chunk = []
+            chunk_bytes = 0
+            emitted += 1
+    if chunk:
+        outputs.append(SSTable.from_records(next_file_id(), chunk, config))
+    return outputs

@@ -1,0 +1,77 @@
+"""LRU block cache.
+
+LevelDB serves repeated reads of hot data blocks from an in-memory LRU
+cache (8 MB by default) instead of the device.  The paper leans on this
+in Fig. 11: "Zipf distribution usually leads to higher hit ratios of
+in-memory cache", which is why both policies accelerate under skew.
+
+The cache maps ``(file_id, block_index)`` to the block's byte size; a hit
+costs a small CPU constant, a miss charges the device and installs the
+block.  File ids are unique for the lifetime of a store, so entries of
+deleted files can never be wrongly hit; like LevelDB, we let them age out
+of the LRU rather than eagerly invalidating.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+from ..errors import ConfigError
+
+_BlockKey = Tuple[int, int]
+
+
+class BlockCache:
+    """A byte-capacity-bounded LRU over data blocks."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigError("block cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[_BlockKey, int]" = OrderedDict()
+        self._used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, file_id: int, block_index: int) -> bool:
+        """True (and refresh recency) if the block is resident."""
+        key = (file_id, block_index)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, file_id: int, block_index: int, nbytes: int) -> None:
+        """Install a block read from the device, evicting LRU as needed."""
+        if nbytes > self.capacity_bytes:
+            return  # a block larger than the cache can never be resident
+        key = (file_id, block_index)
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._used_bytes -= previous
+        self._entries[key] = nbytes
+        self._used_bytes += nbytes
+        while self._used_bytes > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._used_bytes -= evicted
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BlockCache({self._used_bytes}/{self.capacity_bytes}B, "
+            f"hit_ratio={self.hit_ratio:.2f})"
+        )

@@ -1,0 +1,19 @@
+"""Compaction policies for the LSM engine.
+
+The paper's LDC policy itself lives in :mod:`repro.core.ldc`; this package
+holds the policy interface and the baselines (UDC leveled compaction and
+the size-tiered lazy scheme).
+"""
+
+from .base import CompactionPolicy, MAX_ROUNDS_PER_PASS
+from .delayed import DelayedCompaction
+from .leveled import LeveledCompaction
+from .tiered import TieredCompaction
+
+__all__ = [
+    "CompactionPolicy",
+    "LeveledCompaction",
+    "DelayedCompaction",
+    "TieredCompaction",
+    "MAX_ROUNDS_PER_PASS",
+]

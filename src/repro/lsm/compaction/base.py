@@ -1,0 +1,176 @@
+"""Compaction policy interface and shared merge machinery.
+
+A *compaction policy* owns all maintenance decisions of the tree: when to
+compact, which files participate, and where outputs land.  The engine calls
+:meth:`CompactionPolicy.maybe_compact` after every flush (and during write
+stalls) and the policy performs zero or more compactions inline, charging
+all I/O to the shared device under the ``compaction_read`` /
+``compaction_write`` categories.
+
+Three implementations ship with the library:
+
+* :class:`~repro.lsm.compaction.leveled.LeveledCompaction` — **UDC**, the
+  paper's baseline (LevelDB's upper-level driven compaction);
+* :class:`~repro.core.ldc.LDCPolicy` — the paper's contribution;
+* :class:`~repro.lsm.compaction.tiered.TieredCompaction` — a size-tiered
+  lazy baseline used by the related-work ablations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+from ..builder import build_balanced
+from ..iterators import merge_records
+from ..record import KVRecord, newest_wins
+from ..sstable import SSTable
+from ...errors import CompactionError
+from ...ssd.metrics import COMPACTION_READ, COMPACTION_WRITE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..db import DB
+
+#: Upper bound on compaction rounds per maintenance pass.  Hitting it means
+#: a policy stopped making progress — a bug we want surfaced, not hidden.
+MAX_ROUNDS_PER_PASS = 10_000
+
+
+class CompactionPolicy(ABC):
+    """Strategy object deciding when and how the tree is compacted."""
+
+    #: Short identifier used in reports ("udc", "ldc", "tiered").
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.db: Optional["DB"] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, db: "DB") -> None:
+        """Bind the policy to its database (called once by the DB)."""
+        self.db = db
+
+    @property
+    def _db(self) -> "DB":
+        if self.db is None:
+            raise CompactionError(f"policy {self.name!r} is not attached to a DB")
+        return self.db
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def compact_one(self) -> bool:
+        """Perform at most one I/O-bearing compaction round.
+
+        Returns True when any maintenance work was done (zero-I/O metadata
+        actions such as LDC links or trivial moves may batch with it), and
+        False when the tree is within its shape limits.
+
+        The engine calls this once per user operation, modelling a
+        background compaction thread that keeps pace with the foreground:
+        an operation's latency absorbs at most one round — the paper's
+        tail-latency equation (3), where ``tl_w = t_compaction + t_w`` for
+        a *single* round of compaction.
+        """
+
+    def compact_one_tracked(self) -> bool:
+        """Run one round and record its I/O volume in the round histogram.
+
+        The per-round byte distribution is the *granularity* metric of the
+        paper's equation (3): UDC rounds move O(fan_out) files, LDC rounds
+        O(1).
+        """
+        device = self._db.device
+        before = device.stats.compaction_bytes_total
+        did_work = self.compact_one()
+        delta = device.stats.compaction_bytes_total - before
+        if delta > 0:
+            self._db.stats.record_round(delta)
+        return did_work
+
+    def maybe_compact(self) -> None:
+        """Run compaction rounds until the tree is within its limits.
+
+        Used for full drains: the Level-0 *stop* stall and test helpers.
+        """
+        rounds = 0
+        while self.compact_one_tracked():
+            rounds += 1
+            guard_rounds(rounds)
+
+    def on_operation(self, is_write: bool) -> None:
+        """Observe one user operation (drives LDC's adaptive threshold)."""
+
+    def note_seek_exhausted(self, table: SSTable) -> None:
+        """A file's unproductive-probe budget ran out (LevelDB seek
+        compaction).  Policies that honour it queue the file; the default
+        ignores it."""
+
+    def extra_space_bytes(self) -> int:
+        """Policy-held space outside the tree (LDC's frozen region)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # Shared mechanics
+    # ------------------------------------------------------------------
+    def read_inputs(self, tables: Sequence[SSTable]) -> None:
+        """Charge the sequential reads of whole input files."""
+        device = self._db.device
+        for table in tables:
+            device.read(table.data_size, COMPACTION_READ, sequential=True)
+
+    def merge_table_streams(
+        self,
+        streams: List[Iterable[KVRecord]],
+        *,
+        drop_deletes: bool,
+    ) -> List[KVRecord]:
+        """Merge-sort record streams, newest version per key.
+
+        Charges the per-record CPU cost of the merge to the virtual clock.
+        ``drop_deletes`` removes tombstones and is only safe when the output
+        becomes the bottom-most data for its key range.
+        """
+        db = self._db
+        merged = list(merge_records(streams))
+        db.clock.advance(len(merged) * db.config.costs.merge_per_record_us)
+        merged = newest_wins(merged)
+        if drop_deletes:
+            merged = [record for record in merged if not record.is_tombstone]
+        return merged
+
+    def write_outputs(self, records: Sequence[KVRecord]) -> List[SSTable]:
+        """Build balanced output SSTables and charge their sequential writes."""
+        db = self._db
+        outputs = build_balanced(list(records), db.config, db.next_file_id)
+        for table in outputs:
+            db.device.write(table.data_size, COMPACTION_WRITE, sequential=True)
+        return outputs
+
+    def merge_tables(
+        self,
+        inputs: Sequence[SSTable],
+        *,
+        drop_deletes: bool,
+    ) -> List[SSTable]:
+        """Classic whole-file compaction: read, merge, write (Definition 2.4)."""
+        self.read_inputs(inputs)
+        merged = self.merge_table_streams(
+            [table.records for table in inputs], drop_deletes=drop_deletes
+        )
+        return self.write_outputs(merged)
+
+    def can_drop_tombstones(self, target_level: int) -> bool:
+        """Tombstones may be dropped when nothing deeper can hold the key."""
+        return target_level >= self._db.version.deepest_nonempty_level()
+
+
+def guard_rounds(rounds: int) -> None:
+    """Abort a maintenance pass that has stopped converging."""
+    if rounds > MAX_ROUNDS_PER_PASS:
+        raise CompactionError(
+            f"compaction did not converge within {MAX_ROUNDS_PER_PASS} rounds"
+        )

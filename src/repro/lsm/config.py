@@ -1,0 +1,169 @@
+"""Configuration for the LSM-tree engine.
+
+The defaults mirror the *shape* of the paper's LevelDB setup (fan-out 10,
+LevelDB-style L0 triggers, ~10 bits/key Bloom filters) while scaling the
+absolute sizes down so that Python-scale experiments (10^4–10^6 operations)
+exercise the same multi-level geometry the paper's 10^7-operation runs did
+with 2 MB SSTables.  Every value is overridable per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..errors import ConfigError
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Fixed CPU costs, in microseconds, charged to the virtual clock.
+
+    The device model accounts for I/O time; these small constants account
+    for the in-memory work (skip-list search, Bloom probes, merge-sort
+    per-record handling).  They matter for read-mostly workloads where most
+    operations never touch the device.
+    """
+
+    memtable_insert_us: float = 0.5
+    memtable_lookup_us: float = 0.3
+    bloom_check_us: float = 0.05
+    index_lookup_us: float = 0.1
+    merge_per_record_us: float = 0.02
+    scan_per_record_us: float = 0.02
+    cache_hit_us: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "memtable_insert_us",
+            "memtable_lookup_us",
+            "bloom_check_us",
+            "index_lookup_us",
+            "merge_per_record_us",
+            "scan_per_record_us",
+            "cache_hit_us",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class LSMConfig:
+    """Tunable parameters of the LSM-tree engine.
+
+    Parameters
+    ----------
+    memtable_bytes:
+        Capacity of the in-memory write buffer; a full memtable is flushed
+        to a Level-0 SSTable (LevelDB used 2–4 MB; we default to 64 KB for
+        simulation scale).
+    sstable_target_bytes:
+        Target on-device size of one SSTable (paper: 2 MB; scaled default
+        64 KB).  Compactions split their output at this size.
+    block_bytes:
+        Size of one data block, the unit of read I/O within an SSTable.
+    fan_out:
+        Capacity ratio between adjacent levels (Definition 2.5); the paper
+        defaults UDC and LDC to 10 and sweeps 3–100 in Figs. 7/12.
+    level1_capacity_bytes:
+        Capacity of Level 1; level ``i`` holds ``level1 * fan_out**(i-1)``.
+    max_levels:
+        Number of on-device levels (L0..L{max_levels-1}).
+    l0_compaction_trigger / l0_slowdown_trigger / l0_stop_trigger:
+        LevelDB's Level-0 file-count thresholds: schedule compaction at the
+        first, delay each write by ``l0_slowdown_delay_us`` at the second,
+        and block writes (compact inline) at the third.
+    bloom_bits_per_key:
+        Bloom filter size; the paper studies 10–200 bits/key (Figs. 12c/f,
+        13) and recommends 8–16.
+    block_cache_bytes:
+        Capacity of the LRU data-block cache (0 disables it).  LevelDB
+        ships an 8 MB cache against 2 MB files; the equivalent at our
+        64 KB file scale is ~256 KB.  The paper's Fig. 11 relies on this
+        cache ("Zipf distribution usually leads to higher hit ratios of
+        in-memory cache").
+    slicelink_threshold:
+        LDC's ``T_s``: a lower-level SSTable merges once it has accumulated
+        this many linked slices (paper §III-B; best setting ≈ fan-out).
+    adaptive_threshold:
+        Enable the §III-B.4 self-adaptive controller for ``T_s``.
+    seek_compaction_enabled:
+        Enable LevelDB's seek-triggered compaction: a file whose
+        unproductive-probe budget (``allowed_seeks``) is exhausted becomes
+        a compaction candidate even if its level is within capacity.
+        Off by default (as in the paper's experiments, where size triggers
+        dominate); honoured by the leveled (UDC) policy.
+    frozen_space_limit_ratio:
+        Safety valve: when the frozen region exceeds this fraction of live
+        data, LDC forces merges on the most-linked SSTables.  The paper's
+        §III-D worst-case analysis allows frozen files to reach 50% of the
+        store ("the total size of all the frozen SSTables is less than
+        50%"), which is the default here; tighter settings trade LDC's
+        I/O savings for space.
+    """
+
+    memtable_bytes: int = 64 * KIB
+    sstable_target_bytes: int = 64 * KIB
+    block_bytes: int = 4 * KIB
+    fan_out: int = 10
+    level1_capacity_bytes: int = 256 * KIB
+    max_levels: int = 7
+    l0_compaction_trigger: int = 4
+    l0_slowdown_trigger: int = 8
+    l0_stop_trigger: int = 12
+    l0_slowdown_delay_us: float = 1000.0
+    bloom_bits_per_key: int = 10
+    block_cache_bytes: int = 0
+    slicelink_threshold: int = 10
+    adaptive_threshold: bool = False
+    seek_compaction_enabled: bool = False
+    frozen_space_limit_ratio: float = 0.50
+    wal_enabled: bool = True
+    costs: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        positives = (
+            "memtable_bytes",
+            "sstable_target_bytes",
+            "block_bytes",
+            "level1_capacity_bytes",
+            "max_levels",
+            "l0_compaction_trigger",
+            "slicelink_threshold",
+        )
+        for name in positives:
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.fan_out < 2:
+            raise ConfigError("fan_out must be at least 2")
+        if self.block_bytes > self.sstable_target_bytes:
+            raise ConfigError("block_bytes cannot exceed sstable_target_bytes")
+        if not (
+            self.l0_compaction_trigger
+            <= self.l0_slowdown_trigger
+            <= self.l0_stop_trigger
+        ):
+            raise ConfigError(
+                "L0 triggers must satisfy compaction <= slowdown <= stop"
+            )
+        if self.bloom_bits_per_key < 0:
+            raise ConfigError("bloom_bits_per_key must be non-negative")
+        if self.block_cache_bytes < 0:
+            raise ConfigError("block_cache_bytes must be non-negative")
+        if self.l0_slowdown_delay_us < 0:
+            raise ConfigError("l0_slowdown_delay_us must be non-negative")
+        if not 0 < self.frozen_space_limit_ratio <= 1:
+            raise ConfigError("frozen_space_limit_ratio must be in (0, 1]")
+
+    def level_capacity_bytes(self, level: int) -> int:
+        """Capacity of ``level`` in bytes (Level 0 is file-count driven)."""
+        if level <= 0:
+            raise ConfigError("level capacities are defined for level >= 1")
+        return self.level1_capacity_bytes * self.fan_out ** (level - 1)
+
+    def with_overrides(self, **overrides: Any) -> "LSMConfig":
+        """Return a copy with the given fields replaced (validated again)."""
+        return replace(self, **overrides)

@@ -1,0 +1,625 @@
+"""The LSM-tree key-value store facade.
+
+``DB`` wires together the memtable, WAL, SSTables, version set, the
+simulated SSD, and a pluggable compaction policy (UDC / LDC / tiered), and
+exposes the user-facing operations: :meth:`put`, :meth:`delete`,
+:meth:`get` and :meth:`scan`.
+
+**Timing model.**  The engine is synchronous: a write that fills the
+memtable performs the flush — and every compaction the flush makes due —
+inline, on the virtual clock, before returning.  This is exactly the
+blocking behaviour behind the paper's tail-latency equation (3)
+(``tl_w = t_compaction + t_w``): most writes cost a WAL append plus a
+memtable insert, while the occasional write absorbs an entire compaction
+cascade, producing the long tail that LDC's small merges shrink.
+
+**Read path.**  Lookups descend memtable → Level 0 (newest file first) →
+deeper levels.  Under LDC, a lower-level SSTable carries *linked slices*
+of frozen upper-level files which hold newer data than the file itself, so
+each level-unit consults the slices (newest link first, gated by the frozen
+files' Bloom filters) before the file (§III-B.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from .builder import SSTableBuilder
+from .cache import BlockCache
+from .config import LSMConfig
+from .iterators import merge_records
+from .keys import clamp_range, key_successor
+from .memtable import MemTable
+from .record import KVRecord, delete_record, put_record
+from .sstable import SSTable
+from .stats import (
+    ACT_COMPACTION,
+    ACT_FLUSH,
+    ACT_READ,
+    ACT_SCAN,
+    ACT_WAL,
+    ACT_WRITE,
+    EngineStats,
+)
+from .version import VersionSet
+from .wal import WriteAheadLog
+from ..errors import ClosedError, EngineError
+from ..ssd.device import SimulatedSSD
+from ..ssd.metrics import FLUSH_WRITE, USER_READ, USER_SCAN
+from ..ssd.profile import ENTERPRISE_PCIE, SSDProfile
+
+
+class DB:
+    """An LSM-tree key-value store over a simulated SSD.
+
+    Parameters
+    ----------
+    config:
+        Engine geometry and cost parameters (defaults are simulation-scale;
+        see :class:`~repro.lsm.config.LSMConfig`).
+    policy:
+        Compaction policy instance; defaults to UDC
+        (:class:`~repro.lsm.compaction.leveled.LeveledCompaction`).
+    profile:
+        Simulated device parameters; defaults to the enterprise PCIe
+        profile mirroring the paper's testbed.
+    seed:
+        Seed for the memtable skip list's height RNG.
+
+    Example
+    -------
+    >>> from repro import DB
+    >>> db = DB()
+    >>> db.put(b"k", b"v")
+    >>> db.get(b"k")
+    b'v'
+    """
+
+    def __init__(
+        self,
+        config: Optional[LSMConfig] = None,
+        policy: Optional[object] = None,
+        profile: SSDProfile = ENTERPRISE_PCIE,
+        seed: int = 0,
+    ) -> None:
+        from .compaction.leveled import LeveledCompaction  # default policy
+
+        self.config = config if config is not None else LSMConfig()
+        self.policy = policy if policy is not None else LeveledCompaction()
+        sorted_levels = getattr(self.policy, "requires_sorted_levels", True)
+        self.device = SimulatedSSD(profile)
+        self.clock = self.device.clock
+        self.version = VersionSet(self.config, sorted_levels=sorted_levels)
+        self.stats = EngineStats()
+        self._seed = seed
+        self._memtable = MemTable(seed=seed)
+        self._wal = WriteAheadLog(self.device) if self.config.wal_enabled else None
+        self.block_cache = (
+            BlockCache(self.config.block_cache_bytes)
+            if self.config.block_cache_bytes > 0
+            else None
+        )
+        self._next_seq = 1
+        self._next_file_id = 1
+        self._closed = False
+        self.policy.attach(self)
+
+    # ------------------------------------------------------------------
+    # Id/sequence generation
+    # ------------------------------------------------------------------
+    def next_file_id(self) -> int:
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        return file_id
+
+    def _next_sequence(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update ``key``; may trigger flush and compactions."""
+        self._check_open()
+        _check_key(key)
+        if not isinstance(value, bytes):
+            raise TypeError("values must be bytes")
+        record = put_record(key, value, self._next_sequence())
+        self._apply_write(record)
+
+    def delete(self, key: bytes) -> None:
+        """Delete ``key`` by writing a tombstone."""
+        self._check_open()
+        _check_key(key)
+        record = delete_record(key, self._next_sequence())
+        self._apply_write(record)
+
+    def write_batch(self, batch: "WriteBatch") -> None:
+        """Apply a batch of mutations atomically-in-order.
+
+        Mirrors LevelDB's ``WriteBatch``: the whole batch is appended to
+        the WAL as one sequential write (amortising the per-request
+        overhead), then applied to the memtable in order.  A flush can
+        trigger mid-batch exactly as it can mid-stream.
+        """
+        self._check_open()
+        records = []
+        for key, value in batch.entries:
+            _check_key(key)
+            if value is None:
+                records.append(delete_record(key, self._next_sequence()))
+            else:
+                if not isinstance(value, bytes):
+                    raise TypeError("values must be bytes")
+                records.append(put_record(key, value, self._next_sequence()))
+        if not records:
+            return
+        self.policy.on_operation(True)
+        self._maybe_stall()
+        if self._wal is not None:
+            total = sum(record.encoded_size for record in records)
+            elapsed = self._wal.append_batch(records, total)
+            self.stats.charge_activity(ACT_WAL, elapsed)
+        start = self.clock.now()
+        for record in records:
+            self._memtable.add(record)
+            self.clock.advance(self.config.costs.memtable_insert_us)
+            if record.is_tombstone:
+                self.stats.deletes += 1
+            else:
+                self.stats.puts += 1
+            self.stats.user_bytes_written += record.encoded_size
+        self.stats.charge_activity(ACT_WRITE, self.clock.now() - start)
+        if self._memtable.approximate_bytes >= self.config.memtable_bytes:
+            self.flush()
+        self._maintenance_step()
+
+    def _apply_write(self, record: KVRecord) -> None:
+        self.policy.on_operation(True)
+        self._maybe_stall()
+        if self._wal is not None:
+            elapsed = self._wal.append(record)
+            self.stats.charge_activity(ACT_WAL, elapsed)
+        start = self.clock.now()
+        self._memtable.add(record)
+        self.clock.advance(self.config.costs.memtable_insert_us)
+        if record.is_tombstone:
+            self.stats.deletes += 1
+        else:
+            self.stats.puts += 1
+        self.stats.user_bytes_written += record.encoded_size
+        self.stats.charge_activity(ACT_WRITE, self.clock.now() - start)
+        if self._memtable.approximate_bytes >= self.config.memtable_bytes:
+            self.flush()
+        self._maintenance_step()
+
+    def _maybe_stall(self) -> None:
+        """LevelDB's Level-0 back-pressure.
+
+        With synchronous maintenance Level 0 rarely exceeds its trigger,
+        but the guard stays: a storm of Level-0 files delays writes
+        (slowdown) or forces compaction before proceeding (stop).
+        """
+        level0 = self.version.num_files(0)
+        if level0 >= self.config.l0_stop_trigger:
+            start = self.clock.now()
+            self._run_compactions()
+            self.stats.stall_events += 1
+            self.stats.stall_time_us += self.clock.now() - start
+        elif level0 >= self.config.l0_slowdown_trigger:
+            self.clock.advance(self.config.l0_slowdown_delay_us)
+            self.stats.stall_events += 1
+            self.stats.stall_time_us += self.config.l0_slowdown_delay_us
+            self.stats.charge_activity(
+                ACT_WRITE, self.config.l0_slowdown_delay_us
+            )
+
+    def flush(self) -> None:
+        """Dump the memtable to Level-0 SSTables and run due compactions."""
+        self._check_open()
+        if self._memtable.is_empty():
+            return
+        start = self.clock.now()
+        builder = SSTableBuilder(self.config, self.next_file_id)
+        builder.add_all(iter(self._memtable))
+        outputs = builder.finish()
+        for table in outputs:
+            self.device.write(table.data_size, FLUSH_WRITE, sequential=True)
+            self.version.add_file(0, table)
+        self._memtable = MemTable(seed=self._seed)
+        if self._wal is not None:
+            self._wal.reset()
+        self.stats.flush_count += 1
+        self.stats.charge_activity(ACT_FLUSH, self.clock.now() - start)
+
+    def _maintenance_step(self) -> None:
+        """One background-compaction round, charged to the current op.
+
+        Models a compaction thread that keeps pace with the foreground:
+        each user operation absorbs at most one round — UDC's rounds move
+        O(fan_out) files, LDC's O(1), which is exactly the granularity
+        difference behind the paper's tail-latency comparison (Fig. 8).
+        """
+        start = self.clock.now()
+        self.policy.compact_one_tracked()
+        self.stats.charge_activity(ACT_COMPACTION, self.clock.now() - start)
+
+    def _run_compactions(self) -> None:
+        """Drain all due compaction work (Level-0 stop stall, close)."""
+        start = self.clock.now()
+        self.policy.maybe_compact()
+        self.stats.charge_activity(ACT_COMPACTION, self.clock.now() - start)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Point lookup: newest visible value for ``key`` (None if absent)."""
+        self._check_open()
+        _check_key(key)
+        self.policy.on_operation(False)
+        start = self.clock.now()
+        self.stats.gets += 1
+        record = self._lookup(key)
+        self.stats.charge_activity(ACT_READ, self.clock.now() - start)
+        self._maintenance_step()
+        if record is None or record.is_tombstone:
+            return None
+        self.stats.get_hits += 1
+        return record.value
+
+    def _lookup(self, key: bytes) -> Optional[KVRecord]:
+        costs = self.config.costs
+        self.clock.advance(costs.memtable_lookup_us)
+        record = self._memtable.get(key)
+        if record is not None:
+            return record
+        # Level 0: overlapping files, newest first.
+        for table in sorted(
+            self.version.files(0), key=lambda t: t.file_id, reverse=True
+        ):
+            if not table.covers_key(key):
+                continue
+            record = self._lookup_unit(key, table)
+            if record is not None:
+                return record
+        # Deeper levels.
+        for level in range(1, self.version.num_levels):
+            if self.version.sorted_levels:
+                self.clock.advance(costs.index_lookup_us)
+                # Route by responsibility range, not raw range: linked
+                # slices can hold keys outside their carrier file's own
+                # [min, max] (see VersionSet.find_responsible_file).
+                table = self.version.find_responsible_file(level, key)
+                candidates = [] if table is None else [table]
+            else:
+                candidates = sorted(
+                    (
+                        t
+                        for t in self.version.files(level)
+                        if t.covers_key(key)
+                    ),
+                    key=lambda t: t.file_id,
+                    reverse=True,
+                )
+            for table in candidates:
+                record = self._lookup_unit(key, table)
+                if record is not None:
+                    return record
+        return None
+
+    def _lookup_unit(self, key: bytes, table: SSTable) -> Optional[KVRecord]:
+        """Check one level-resident SSTable and its linked slices.
+
+        Slices hold strictly newer data than the table, so a slice hit
+        short-circuits the table read; among slices the newest record wins
+        (they are checked via the frozen files' Bloom filters, the
+        mechanism Figs. 12c/f and 13 study).
+        """
+        costs = self.config.costs
+        best: Optional[KVRecord] = None
+        if table.slice_links:
+            for piece in sorted(
+                table.slice_links, key=lambda p: p.link_seq, reverse=True
+            ):
+                if not piece.covers_key(key):
+                    continue
+                self.clock.advance(costs.bloom_check_us)
+                if not piece.source.bloom.may_contain(key):
+                    self.stats.bloom_negative_skips += 1
+                    continue
+                self._charge_point_read(piece.source, key)
+                record = piece.get(key)
+                if record is not None and (best is None or record.seq > best.seq):
+                    best = record
+            if best is not None:
+                return best
+        if not table.covers_key(key):
+            # The key fell in this file's responsibility gap: only the
+            # slices (checked above) could have held it.
+            return None
+        self.clock.advance(costs.bloom_check_us)
+        if not table.bloom.may_contain(key):
+            self.stats.bloom_negative_skips += 1
+            return None
+        self._charge_point_read(table, key)
+        record = table.get(key)
+        if record is None and self.config.seek_compaction_enabled:
+            # LevelDB seek compaction: an unproductive probe (block read
+            # that found nothing) spends the file's seek budget.
+            table.allowed_seeks -= 1
+            if table.allowed_seeks == 0:
+                self.policy.note_seek_exhausted(table)
+        return record
+
+    def _charge_point_read(self, table: SSTable, key: bytes) -> None:
+        """Charge one data-block read, via the block cache when enabled.
+
+        A cache hit costs a CPU constant; a miss reads the block from the
+        device and installs it.  Only device reads count toward the
+        Fig. 13 block-read statistic.
+        """
+        located = table.block_for_key(key)
+        if located is None:
+            return
+        block_index, nbytes = located
+        cache = self.block_cache
+        if cache is not None and cache.lookup(table.file_id, block_index):
+            self.clock.advance(self.config.costs.cache_hit_us)
+            return
+        self.device.read(nbytes, USER_READ)
+        self.stats.sstable_blocks_read += 1
+        if cache is not None:
+            cache.insert(table.file_id, block_index, nbytes)
+
+    # ------------------------------------------------------------------
+    # Range scans
+    # ------------------------------------------------------------------
+    def scan(self, start_key: bytes, count: int) -> List[Tuple[bytes, bytes]]:
+        """Return up to ``count`` live key-value pairs with key >= start.
+
+        Merges the memtable, every overlapping Level-0 file, the deeper
+        levels and (under LDC) all linked slices; tombstones shadow older
+        versions and are not returned.
+        """
+        self._check_open()
+        _check_key(start_key)
+        if count <= 0:
+            return []
+        self.policy.on_operation(False)
+        start_time = self.clock.now()
+        self.stats.scans += 1
+
+        sources: List = [self._memtable.iter_from(start_key)]
+        tables: List[SSTable] = []
+        slices: List = []
+        for level in range(self.version.num_levels):
+            for table in self.version.files(level):
+                if table.max_key >= start_key:
+                    tables.append(table)
+                    sources.append(iter(table.records_in_range(start_key, None)))
+                for piece in table.slice_links:
+                    if piece.hi is None or piece.hi > start_key:
+                        slices.append(piece)
+                        sources.append(iter(piece.records_in_range(start_key, None)))
+
+        results: List[Tuple[bytes, bytes]] = []
+        for record in merge_records(sources):
+            self.clock.advance(self.config.costs.scan_per_record_us)
+            if record.is_tombstone:
+                continue
+            results.append((record.key, record.value))
+            if len(results) >= count:
+                break
+        self.stats.scanned_records += len(results)
+
+        # Charge the device for the block ranges each source actually
+        # covered: from the scan start up to the last key returned (or the
+        # whole tail when the store was exhausted first).
+        end_hi = key_successor(results[-1][0]) if len(results) >= count else None
+        for table in tables:
+            self._charge_range_read(table, start_key, end_hi)
+        for piece in slices:
+            lo, hi = clamp_range(piece.lo, piece.hi, start_key, end_hi)
+            self._charge_range_read(piece.source, lo, hi)
+        self.stats.charge_activity(ACT_SCAN, self.clock.now() - start_time)
+        self._maintenance_step()
+        return results
+
+    def _charge_range_read(self, table: SSTable, lo, hi) -> None:
+        """Charge a range read over ``[lo, hi)`` of ``table``.
+
+        Without a cache this is one sequential device read of the covered
+        blocks.  With a cache, resident blocks cost CPU only and
+        contiguous runs of missing blocks coalesce into sequential reads.
+        """
+        blocks = table.blocks_in_range(lo, hi)
+        if not blocks:
+            return
+        cache = self.block_cache
+        if cache is None:
+            self.device.read(
+                sum(nbytes for _, nbytes in blocks), USER_SCAN, sequential=True
+            )
+            return
+        run_bytes = 0
+        for block_index, nbytes in blocks:
+            if cache.lookup(table.file_id, block_index):
+                if run_bytes:
+                    self.device.read(run_bytes, USER_SCAN, sequential=True)
+                    run_bytes = 0
+                self.clock.advance(self.config.costs.cache_hit_us)
+            else:
+                run_bytes += nbytes
+                cache.insert(table.file_id, block_index, nbytes)
+        if run_bytes:
+            self.device.read(run_bytes, USER_SCAN, sequential=True)
+
+    # ------------------------------------------------------------------
+    # Introspection and maintenance
+    # ------------------------------------------------------------------
+    def space_bytes(self) -> int:
+        """Total device space held: resident files plus policy-held extras.
+
+        For LDC the extras are the frozen region — the quantity behind the
+        paper's space-efficiency experiment (Fig. 15).  Linked slices are
+        *not* added on top: their bytes live inside the frozen files.
+        """
+        return self.version.total_file_bytes() + self.policy.extra_space_bytes()
+
+    def write_amplification(self) -> float:
+        """Measured physical-to-logical write ratio (Definition 2.6)."""
+        return self.device.stats.write_amplification(self.stats.user_bytes_written)
+
+    def logical_items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Every live key-value pair, in key order, without cost charging.
+
+        A verification backdoor for tests and examples: reads the whole
+        logical store (memtable, all levels, all slices) off the clock.
+        """
+        self._check_open()
+        sources: List = [iter(list(self._memtable))]
+        for level in range(self.version.num_levels):
+            for table in self.version.files(level):
+                sources.append(iter(table.records))
+                for piece in table.slice_links:
+                    sources.append(iter(piece.records()))
+        for record in merge_records(sources):
+            if not record.is_tombstone:
+                yield record.key, record.value
+
+    def describe(self) -> str:
+        """A human-readable snapshot of the store (LevelDB's GetProperty).
+
+        Shows per-level file counts, sizes and linked-slice bytes, the
+        policy's extra space, and the headline counters — handy in
+        examples and when debugging experiments.
+        """
+        lines = [
+            f"policy={self.policy.name}  virtual_time={self.clock.now() / 1e6:.3f}s",
+            f"memtable: {len(self._memtable)} records, "
+            f"{self._memtable.approximate_bytes} bytes",
+            "level  files  data_bytes  linked_bytes  score",
+        ]
+        for level in range(self.version.num_levels):
+            files = self.version.files(level)
+            if not files and level > 1:
+                continue
+            data = sum(table.data_size for table in files)
+            linked = sum(table.linked_bytes for table in files)
+            score = self.version.level_score(level) if level < self.version.num_levels - 1 else 0.0
+            lines.append(
+                f"{level:>5}  {len(files):>5}  {data:>10}  {linked:>12}  {score:>5.2f}"
+            )
+        extra = self.policy.extra_space_bytes()
+        if extra:
+            lines.append(f"frozen region: {extra} bytes")
+        stats = self.stats
+        lines.append(
+            f"ops: puts={stats.puts} deletes={stats.deletes} gets={stats.gets} "
+            f"scans={stats.scans}"
+        )
+        lines.append(
+            f"maintenance: flushes={stats.flush_count} "
+            f"compactions={stats.compaction_count} links={stats.link_count} "
+            f"merges={stats.merge_count} trivial_moves={stats.trivial_moves}"
+        )
+        lines.append(f"write_amplification={self.write_amplification():.2f}")
+        return "\n".join(lines)
+
+    def reset_measurements(self) -> None:
+        """Zero the device and engine statistics.
+
+        Called by the harness after a load phase so that measured I/O,
+        amplification and activity shares cover only the measured
+        operations (the virtual clock keeps running).
+        """
+        from ..ssd.metrics import IOStats
+
+        self.device.stats = IOStats()
+        self.stats = EngineStats()
+
+    def crash_and_recover(self) -> int:
+        """Simulate a crash: drop the memtable, replay the WAL.
+
+        Returns the number of records recovered.  Raises
+        :class:`EngineError` when the WAL is disabled (recovery would lose
+        the memtable contents).
+        """
+        self._check_open()
+        if self._wal is None:
+            raise EngineError("cannot recover without a WAL")
+        records = self._wal.recover()
+        self._memtable = MemTable(seed=self._seed)
+        for record in records:
+            self._memtable.add(record)
+        return len(records)
+
+    def close(self) -> None:
+        """Flush outstanding writes and refuse further operations."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("database is closed")
+
+    def __enter__(self) -> "DB":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DB(policy={self.policy.name!r}, files={self.version.num_files()}, "
+            f"t={self.clock.now():.0f}us)"
+        )
+
+
+class WriteBatch:
+    """An ordered collection of mutations applied via :meth:`DB.write_batch`.
+
+    Example
+    -------
+    >>> from repro import DB
+    >>> from repro.lsm.db import WriteBatch
+    >>> db = DB()
+    >>> batch = WriteBatch()
+    >>> batch.put(b"a", b"1").put(b"b", b"2").delete(b"a")
+    WriteBatch(3 entries)
+    >>> db.write_batch(batch)
+    >>> db.get(b"b")
+    b'2'
+    """
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[bytes, Optional[bytes]]] = []
+
+    def put(self, key: bytes, value: bytes) -> "WriteBatch":
+        self.entries.append((key, value))
+        return self
+
+    def delete(self, key: bytes) -> "WriteBatch":
+        self.entries.append((key, None))
+        return self
+
+    def clear(self) -> None:
+        self.entries = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return f"WriteBatch({len(self.entries)} entries)"
+
+
+def _check_key(key: bytes) -> None:
+    if not isinstance(key, bytes):
+        raise TypeError("keys must be bytes")
+    if not key:
+        raise EngineError("keys must be non-empty")

@@ -1,0 +1,51 @@
+"""K-way merge machinery for scans and compactions.
+
+Both range scans (merging the memtable, Level-0 files, deeper levels and —
+under LDC — linked slices) and compaction merges (Definition 2.4, LDC's
+merge phase) reduce to the same operation: merge several key-sorted record
+streams, keeping only the newest version of each user key.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List
+
+from .record import KVRecord
+
+
+def merge_records(sources: List[Iterable[KVRecord]]) -> Iterator[KVRecord]:
+    """Merge key-sorted streams, yielding the newest record per user key.
+
+    Each source must be internally sorted by key with at most one record
+    per key.  Across sources, the record with the highest sequence number
+    wins.  Tombstones are *not* filtered — callers decide whether deletes
+    may be dropped (only at the bottom of the tree) or must be preserved.
+    """
+    heap: List[tuple[bytes, int, int, KVRecord]] = []
+    iterators = [iter(source) for source in sources]
+    for index, iterator in enumerate(iterators):
+        first = next(iterator, None)
+        if first is not None:
+            heapq.heappush(heap, (first.key, -first.seq, index, first))
+
+    while heap:
+        key, _, index, record = heapq.heappop(heap)
+        # Refill from the winning source.
+        nxt = next(iterators[index], None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt.key, -nxt.seq, index, nxt))
+        # Drain older versions of the same key from other sources.
+        while heap and heap[0][0] == key:
+            _, _, other_index, _ = heapq.heappop(heap)
+            refill = next(iterators[other_index], None)
+            if refill is not None:
+                heapq.heappush(heap, (refill.key, -refill.seq, other_index, refill))
+        yield record
+
+
+def live_records(merged: Iterable[KVRecord]) -> Iterator[KVRecord]:
+    """Filter a newest-per-key stream down to visible (non-deleted) records."""
+    for record in merged:
+        if not record.is_tombstone:
+            yield record

@@ -1,0 +1,56 @@
+"""The in-memory write buffer (Definition 2.2).
+
+All mutations land here first; when :attr:`MemTable.approximate_bytes`
+reaches the configured capacity the engine flushes the contents to a
+Level-0 SSTable.  The memtable keeps only the newest record per user key —
+older in-memtable versions are unobservable in this engine (no snapshot
+reads), so overwriting in place is both correct and fast.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .record import KVRecord
+from .skiplist import SkipList
+
+
+class MemTable:
+    """Sorted in-memory buffer of the newest record per key."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._index = SkipList(seed=seed)
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Encoded size of the buffered records (flush trigger input)."""
+        return self._bytes
+
+    def add(self, record: KVRecord) -> None:
+        """Insert a record, replacing any older version of the same key."""
+        previous = self._index.get(record.key)
+        if previous is not None:
+            self._bytes -= previous.encoded_size  # type: ignore[union-attr]
+        self._index.insert(record.key, record)
+        self._bytes += record.encoded_size
+
+    def get(self, key: bytes) -> Optional[KVRecord]:
+        """Return the newest buffered record for ``key`` (may be tombstone)."""
+        record = self._index.get(key)
+        return record  # type: ignore[return-value]
+
+    def __iter__(self) -> Iterator[KVRecord]:
+        for _, record in self._index:
+            yield record  # type: ignore[misc]
+
+    def iter_from(self, key: bytes) -> Iterator[KVRecord]:
+        """Iterate records in key order starting at the first key >= ``key``."""
+        for _, record in self._index.iter_from(key):
+            yield record  # type: ignore[misc]
+
+    def is_empty(self) -> bool:
+        return len(self._index) == 0

@@ -1,0 +1,88 @@
+"""Record types: user keys, sequence numbers, and tombstones.
+
+Every mutation (put or delete) receives a globally increasing *sequence
+number*.  Compactions — and in particular LDC's out-of-order merges, which
+may consume slices frozen at different times — resolve duplicate user keys
+by keeping the record with the highest sequence number.  Deletes are
+*tombstones*: records with ``kind == KIND_DELETE`` that shadow older puts
+until a compaction into the bottom-most data drops them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Optional
+
+# Record kinds.  Values chosen so that a tombstone is falsy-looking but the
+# comparisons below never rely on that; explicit checks only.
+KIND_PUT = 1
+KIND_DELETE = 0
+
+#: Fixed per-record metadata overhead used when estimating on-device size:
+#: 8-byte sequence number + 1-byte kind + two 2-byte length prefixes.
+RECORD_OVERHEAD_BYTES = 13
+
+
+class KVRecord(NamedTuple):
+    """One versioned key-value record.
+
+    Sorting a list of ``KVRecord`` tuples orders by ``(key, seq, ...)``;
+    merge code that wants newest-first per key sorts by ``(key, -seq)``
+    explicitly rather than relying on tuple order.
+    """
+
+    key: bytes
+    seq: int
+    kind: int
+    value: bytes
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.kind == KIND_DELETE
+
+    @property
+    def encoded_size(self) -> int:
+        """Approximate on-device footprint of this record in bytes."""
+        return len(self.key) + len(self.value) + RECORD_OVERHEAD_BYTES
+
+
+def put_record(key: bytes, value: bytes, seq: int) -> KVRecord:
+    """Build a PUT record."""
+    return KVRecord(key, seq, KIND_PUT, value)
+
+
+def delete_record(key: bytes, seq: int) -> KVRecord:
+    """Build a DELETE tombstone record."""
+    return KVRecord(key, seq, KIND_DELETE, b"")
+
+
+def newest_wins(records: Iterable[KVRecord]) -> List[KVRecord]:
+    """Collapse a key-sorted record stream to one record per user key.
+
+    Input must be sorted by key (ties in any seq order); output is sorted by
+    key with only the highest-sequence record retained per key.  This is the
+    deduplication step of every compaction merge.
+    """
+    result: List[KVRecord] = []
+    for record in records:
+        if result and result[-1].key == record.key:
+            if record.seq > result[-1].seq:
+                result[-1] = record
+        else:
+            result.append(record)
+    return result
+
+
+def drop_tombstones(records: Iterable[KVRecord]) -> List[KVRecord]:
+    """Remove tombstones from a deduplicated stream.
+
+    Only safe when the output lands in the bottom-most data for its key
+    range — otherwise an older PUT in a deeper level would resurface.
+    """
+    return [record for record in records if not record.is_tombstone]
+
+
+def visible_value(record: Optional[KVRecord]) -> Optional[bytes]:
+    """Map a located record to the user-visible value (None if deleted)."""
+    if record is None or record.is_tombstone:
+        return None
+    return record.value

@@ -1,0 +1,130 @@
+"""A seeded, deterministic skip list used as the memtable's ordered index.
+
+LevelDB's memtable is a skip list; we implement the same structure rather
+than leaning on a sorted container so the substrate matches the system the
+paper modified.  Heights are drawn from a seeded RNG, making every run
+reproducible.
+
+The list maps ``bytes`` keys to arbitrary values, supports ordered
+iteration, and seek-to-first-key-at-or-after for range scans.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+MAX_HEIGHT = 12
+_BRANCHING = 4  # P(level promotion) = 1/4, as in LevelDB.
+
+
+class _Node:
+    __slots__ = ("key", "value", "next")
+
+    def __init__(self, key: Optional[bytes], value: object, height: int) -> None:
+        self.key = key
+        self.value = value
+        self.next: List[Optional["_Node"]] = [None] * height
+
+
+class SkipList:
+    """Ordered mapping from bytes keys to values.
+
+    Example
+    -------
+    >>> sl = SkipList(seed=7)
+    >>> sl.insert(b"b", 2); sl.insert(b"a", 1)
+    >>> [key for key, _ in sl]
+    [b'a', b'b']
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._head = _Node(None, None, MAX_HEIGHT)
+        self._height = 1
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < MAX_HEIGHT and self._rng.randrange(_BRANCHING) == 0:
+            height += 1
+        return height
+
+    def _find_greater_or_equal(
+        self, key: bytes, prev_out: Optional[List[_Node]] = None
+    ) -> Optional[_Node]:
+        """Return the first node with ``node.key >= key``.
+
+        When ``prev_out`` is given, fill it with the predecessor at every
+        level (used by insert).
+        """
+        node = self._head
+        level = self._height - 1
+        while True:
+            nxt = node.next[level]
+            if nxt is not None and nxt.key < key:  # type: ignore[operator]
+                node = nxt
+            else:
+                if prev_out is not None:
+                    prev_out[level] = node
+                if level == 0:
+                    return nxt
+                level -= 1
+
+    def insert(self, key: bytes, value: object) -> bool:
+        """Insert or overwrite; return True if the key was new."""
+        prev: List[_Node] = [self._head] * MAX_HEIGHT
+        found = self._find_greater_or_equal(key, prev)
+        if found is not None and found.key == key:
+            found.value = value
+            return False
+        height = self._random_height()
+        if height > self._height:
+            for level in range(self._height, height):
+                prev[level] = self._head
+            self._height = height
+        node = _Node(key, value, height)
+        for level in range(height):
+            node.next[level] = prev[level].next[level]
+            prev[level].next[level] = node
+        self._size += 1
+        return True
+
+    def get(self, key: bytes) -> Optional[object]:
+        """Return the value stored under ``key``, or None."""
+        node = self._find_greater_or_equal(key)
+        if node is not None and node.key == key:
+            return node.value
+        return None
+
+    def __contains__(self, key: bytes) -> bool:
+        node = self._find_greater_or_equal(key)
+        return node is not None and node.key == key
+
+    def __iter__(self) -> Iterator[Tuple[bytes, object]]:
+        node = self._head.next[0]
+        while node is not None:
+            yield node.key, node.value  # type: ignore[misc]
+            node = node.next[0]
+
+    def iter_from(self, key: bytes) -> Iterator[Tuple[bytes, object]]:
+        """Iterate pairs in key order starting at the first key >= ``key``."""
+        node = self._find_greater_or_equal(key)
+        while node is not None:
+            yield node.key, node.value  # type: ignore[misc]
+            node = node.next[0]
+
+    def first_key(self) -> Optional[bytes]:
+        node = self._head.next[0]
+        return None if node is None else node.key
+
+    def last_key(self) -> Optional[bytes]:
+        """Return the largest key (O(log n) walk along top levels)."""
+        node = self._head
+        for level in reversed(range(self._height)):
+            while node.next[level] is not None:
+                node = node.next[level]  # type: ignore[assignment]
+        return node.key

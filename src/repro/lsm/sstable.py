@@ -1,0 +1,234 @@
+"""SSTables: immutable sorted runs of records (Definition 2.3).
+
+An :class:`SSTable` models one on-device file: a key-sorted sequence of
+records laid out in fixed-size *data blocks*, plus in-memory metadata — the
+key range, a per-block index, and a Bloom filter.  The engine holds the
+records in Python lists (the data is real and checkable) while the *cost*
+of touching them is expressed in blocks: a point lookup reads one data
+block, a range read touches the blocks overlapping the range.  The device
+model converts those block counts into virtual time.
+
+Under LDC an SSTable can additionally carry:
+
+* ``slice_links`` — slices of frozen upper-level files linked onto this
+  (lower-level) file, waiting for the merge trigger (§III-B.1);
+* ``frozen`` / ``refcount`` — state for files moved to the frozen region,
+  recycled when their last linked slice has been merged (§III-B.2).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+from .bloom import BloomFilter
+from .config import LSMConfig
+from .record import KVRecord
+from ..errors import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..core.slice import Slice
+
+
+class SSTable:
+    """One immutable sorted file.
+
+    Use :meth:`from_records` (or :class:`~repro.lsm.builder.SSTableBuilder`)
+    to construct; records must be strictly increasing in key with exactly
+    one version per key.
+    """
+
+    __slots__ = (
+        "file_id",
+        "_keys",
+        "_records",
+        "_size_prefix",
+        "data_size",
+        "bloom",
+        "_block_starts",
+        "_block_bytes",
+        "slice_links",
+        "linked_bytes",
+        "frozen",
+        "refcount",
+        "allowed_seeks",
+    )
+
+    def __init__(
+        self,
+        file_id: int,
+        records: Sequence[KVRecord],
+        block_bytes: int,
+        bloom_bits_per_key: int,
+    ) -> None:
+        if not records:
+            raise EngineError("an SSTable must contain at least one record")
+        self.file_id = file_id
+        self._records: List[KVRecord] = list(records)
+        self._keys: List[bytes] = [record.key for record in self._records]
+        for left, right in zip(self._keys, self._keys[1:]):
+            if left >= right:
+                raise EngineError(
+                    f"SSTable records must be strictly key-sorted; "
+                    f"{left!r} !< {right!r}"
+                )
+        # Prefix sums of encoded sizes: _size_prefix[i] is the total size
+        # of records[0:i], making bytes_in_range O(log n).
+        prefix = [0]
+        running = 0
+        for record in self._records:
+            running += record.encoded_size
+            prefix.append(running)
+        self._size_prefix = prefix
+        self.data_size = running
+        self.bloom = BloomFilter(self._keys, bloom_bits_per_key)
+        self._block_starts, self._block_bytes = self._build_blocks(block_bytes)
+        # LevelDB's seek-compaction budget: after this many unproductive
+        # probes the file becomes a compaction candidate (a file probed
+        # often but rarely hit is cheaper merged than repeatedly seeked).
+        # LevelDB uses size/16KB clamped to >= 100.
+        self.allowed_seeks = max(100, self.data_size // (16 * 1024))
+        # LDC state (inert under UDC/tiered policies).  ``linked_bytes``
+        # caches the byte total of ``slice_links``: once linked, upper-level
+        # data counts toward *this* file's level for compaction scoring
+        # (§III-A).  Maintained by attach_slice / the merge phase.
+        self.slice_links: List["Slice"] = []
+        self.linked_bytes = 0
+        self.frozen = False
+        self.refcount = 0
+
+    @classmethod
+    def from_records(
+        cls, file_id: int, records: Sequence[KVRecord], config: LSMConfig
+    ) -> "SSTable":
+        """Build an SSTable using the config's block and Bloom settings."""
+        return cls(file_id, records, config.block_bytes, config.bloom_bits_per_key)
+
+    def _build_blocks(self, block_bytes: int) -> tuple[List[int], List[int]]:
+        """Partition the record array into blocks of ~``block_bytes`` each."""
+        starts: List[int] = []
+        sizes: List[int] = []
+        current_size = 0
+        for index, record in enumerate(self._records):
+            if current_size == 0:
+                starts.append(index)
+            current_size += record.encoded_size
+            if current_size >= block_bytes:
+                sizes.append(current_size)
+                current_size = 0
+        if current_size > 0:
+            sizes.append(current_size)
+        return starts, sizes
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    @property
+    def min_key(self) -> bytes:
+        return self._keys[0]
+
+    @property
+    def max_key(self) -> bytes:
+        return self._keys[-1]
+
+    @property
+    def num_records(self) -> int:
+        return len(self._records)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._block_starts)
+
+    @property
+    def records(self) -> Sequence[KVRecord]:
+        """Read-only view of all records (test and merge helper)."""
+        return self._records
+
+    def covers_key(self, key: bytes) -> bool:
+        return self.min_key <= key <= self.max_key
+
+    # ------------------------------------------------------------------
+    # Point lookups
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> Optional[KVRecord]:
+        """Return the record stored under ``key`` (tombstones included)."""
+        index = bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            return self._records[index]
+        return None
+
+    def block_for_key(self, key: bytes) -> Optional[tuple[int, int]]:
+        """The ``(block_index, nbytes)`` a point lookup of ``key`` reads.
+
+        Returns None when ``key`` falls outside this file's range.
+        """
+        if not self.covers_key(key):
+            return None
+        index = bisect_left(self._keys, key)
+        if index == len(self._keys):
+            index -= 1
+        block = bisect_right(self._block_starts, index) - 1
+        return block, self._block_bytes[block]
+
+    def block_bytes_for_key(self, key: bytes) -> int:
+        """Device bytes a point lookup of ``key`` must read (one block)."""
+        located = self.block_for_key(key)
+        return 0 if located is None else located[1]
+
+    def blocks_in_range(
+        self, lo: Optional[bytes], hi: Optional[bytes]
+    ) -> List[tuple[int, int]]:
+        """All ``(block_index, nbytes)`` pairs touched by ``[lo, hi)``."""
+        start, stop = self._index_range(lo, hi)
+        if stop <= start:
+            return []
+        first_block = bisect_right(self._block_starts, start) - 1
+        last_block = bisect_right(self._block_starts, stop - 1) - 1
+        return [
+            (block, self._block_bytes[block])
+            for block in range(first_block, last_block + 1)
+        ]
+
+    # ------------------------------------------------------------------
+    # Range queries (half-open [lo, hi), None = unbounded)
+    # ------------------------------------------------------------------
+    def _index_range(self, lo: Optional[bytes], hi: Optional[bytes]) -> tuple[int, int]:
+        start = 0 if lo is None else bisect_left(self._keys, lo)
+        stop = len(self._keys) if hi is None else bisect_left(self._keys, hi)
+        return start, stop
+
+    def records_in_range(
+        self, lo: Optional[bytes], hi: Optional[bytes]
+    ) -> Sequence[KVRecord]:
+        """All records with keys in ``[lo, hi)`` (a list slice, key-sorted)."""
+        start, stop = self._index_range(lo, hi)
+        return self._records[start:stop]
+
+    def count_in_range(self, lo: Optional[bytes], hi: Optional[bytes]) -> int:
+        start, stop = self._index_range(lo, hi)
+        return max(0, stop - start)
+
+    def bytes_in_range(self, lo: Optional[bytes], hi: Optional[bytes]) -> int:
+        """Encoded size of the records in ``[lo, hi)`` (slice sizing)."""
+        start, stop = self._index_range(lo, hi)
+        if stop <= start:
+            return 0
+        return self._size_prefix[stop] - self._size_prefix[start]
+
+    def block_bytes_in_range(self, lo: Optional[bytes], hi: Optional[bytes]) -> int:
+        """Device bytes needed to read every record in ``[lo, hi)``.
+
+        Whole blocks are the unit of I/O, so a range touching part of a
+        block pays for the full block — this is exactly the extra cost LDC
+        accepts when it reads a *slice* of a frozen file instead of the
+        whole file.
+        """
+        return sum(nbytes for _, nbytes in self.blocks_in_range(lo, hi))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "frozen" if self.frozen else "active"
+        return (
+            f"SSTable(id={self.file_id}, {state}, n={self.num_records}, "
+            f"range=[{self.min_key!r}..{self.max_key!r}], "
+            f"links={len(self.slice_links)})"
+        )

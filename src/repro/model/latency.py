@@ -1,0 +1,73 @@
+"""Tail-latency equation (3) from §II-B.
+
+The paper models the write tail latency as the time one round of
+compaction blocks a user write::
+
+    tl_w = (k + 1) * c * b / (th_w^ssd - th_read) + p
+
+where ``k`` is the fan-out (a UDC round drags in ~k lower files per upper
+file), ``c`` the number of upper SSTables selected per round, ``b`` the
+SSTable size, ``th_read`` the device bandwidth concurrently consumed by
+reads, and ``p`` the (negligible) memtable insert time.
+
+LDC's improvement substitutes the per-round file count: instead of
+``(k + 1) * c`` files, a lower-level driven merge touches ``O(1)`` files —
+roughly 2 (the target plus one file's worth of linked slices) — shrinking
+each round and therefore the tail (§III-C).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+def compaction_round_bytes(fan_out: int, selected_files: int, sstable_bytes: int) -> int:
+    """Bytes a UDC round moves: ``(k + 1) * c * b``."""
+    if fan_out < 1 or selected_files < 1 or sstable_bytes <= 0:
+        raise ConfigError("fan_out, selected_files, sstable_bytes must be positive")
+    return (fan_out + 1) * selected_files * sstable_bytes
+
+
+def ldc_round_bytes(selected_files: int, sstable_bytes: int, merge_factor: float = 2.0) -> int:
+    """Bytes an LDC round moves: ``O(1) * c * b`` (default factor 2)."""
+    if selected_files < 1 or sstable_bytes <= 0:
+        raise ConfigError("selected_files and sstable_bytes must be positive")
+    if merge_factor <= 0:
+        raise ConfigError("merge_factor must be positive")
+    return int(merge_factor * selected_files * sstable_bytes)
+
+
+def write_tail_latency_us(
+    round_bytes: float,
+    device_write_bw_mbps: float,
+    concurrent_read_bw_mbps: float = 0.0,
+    memtable_write_us: float = 1.0,
+) -> float:
+    """Equation (3): the time one compaction round blocks a write.
+
+    Bandwidths are in MB/s (1 MB/s == 1 byte/µs), so the quotient lands
+    directly in microseconds.
+    """
+    if round_bytes < 0:
+        raise ConfigError("round_bytes must be non-negative")
+    effective = device_write_bw_mbps - concurrent_read_bw_mbps
+    if effective <= 0:
+        raise ConfigError(
+            "reads must leave some device write bandwidth (th_w^ssd > th_read)"
+        )
+    return round_bytes / effective + memtable_write_us
+
+
+def udc_vs_ldc_tail_ratio(fan_out: int, merge_factor: float = 2.0) -> float:
+    """Predicted UDC/LDC tail ratio: ``(k + 1) / merge_factor``.
+
+    With the paper's defaults (k = 10, LDC rounds ~2 files) the model
+    predicts roughly a 5x smaller blocking time per round; the measured
+    P99.9 improvement (2.62x) is smaller because not every tail event is a
+    maximal round.
+    """
+    if fan_out < 1:
+        raise ConfigError("fan_out must be positive")
+    if merge_factor <= 0:
+        raise ConfigError("merge_factor must be positive")
+    return (fan_out + 1) / merge_factor

@@ -1,0 +1,50 @@
+"""Simulated SSD substrate: virtual clock, device profiles, I/O accounting.
+
+This package replaces the physical Memblaze Q520 PCIe SSD of the paper's
+testbed with a deterministic virtual-time model (see DESIGN.md §1 for the
+substitution argument).
+"""
+
+from .clock import SimClock
+from .device import SimulatedSSD
+from .metrics import (
+    ALL_CATEGORIES,
+    COMPACTION_READ,
+    COMPACTION_WRITE,
+    FLUSH_WRITE,
+    USER_READ,
+    USER_SCAN,
+    WAL_WRITE,
+    CategoryStats,
+    IOStats,
+)
+from .profile import (
+    BALANCED_FLASH,
+    ENTERPRISE_PCIE,
+    HDD,
+    PROFILES,
+    SATA_SSD,
+    SSDProfile,
+    get_profile,
+)
+
+__all__ = [
+    "SimClock",
+    "SimulatedSSD",
+    "IOStats",
+    "CategoryStats",
+    "SSDProfile",
+    "get_profile",
+    "PROFILES",
+    "ENTERPRISE_PCIE",
+    "SATA_SSD",
+    "BALANCED_FLASH",
+    "HDD",
+    "ALL_CATEGORIES",
+    "USER_READ",
+    "USER_SCAN",
+    "WAL_WRITE",
+    "FLUSH_WRITE",
+    "COMPACTION_READ",
+    "COMPACTION_WRITE",
+]

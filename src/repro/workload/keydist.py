@@ -1,0 +1,133 @@
+"""Key distributions: uniform, Zipf, and latest.
+
+The paper's default is the uniform distribution; Fig. 11 compares it with
+Zipf distributions whose constant ranges from 1 to 5 ("the larger the Zipf
+constant is, the accesses are more concentrated on some popular key-value
+pairs").  We implement:
+
+* **uniform** — every key equally likely;
+* **zipf(s)** — rank ``r`` (1-based) drawn with probability ∝ ``1 / r^s``,
+  using inverse-CDF sampling over a precomputed table (exact, not the
+  rejection approximation), with ranks scattered over the key space by a
+  fixed pseudo-random permutation so popular keys are not adjacent;
+* **latest** — YCSB's "latest" pattern: recency-skewed toward the most
+  recently inserted keys (used by the extension workloads, not the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+class KeyDistribution(Protocol):
+    """Samples key indices in ``[0, key_space)``."""
+
+    def sample(self) -> int:  # pragma: no cover - protocol signature
+        """Return the next key index."""
+
+
+class UniformKeys:
+    """Uniformly random key indices."""
+
+    def __init__(self, key_space: int, rng: np.random.Generator) -> None:
+        if key_space <= 0:
+            raise WorkloadError("key_space must be positive")
+        self._key_space = key_space
+        self._rng = rng
+
+    def sample(self) -> int:
+        return int(self._rng.integers(0, self._key_space))
+
+
+class ZipfKeys:
+    """Exact Zipf-distributed key indices via inverse-CDF sampling.
+
+    Probability of rank ``r`` (1-based) is ``r^-s / H(n, s)``.  Ranks are
+    mapped onto key indices through a seeded permutation, so the hot set is
+    spread across the key space — matching YCSB's *scrambled* Zipfian and
+    avoiding an artificial hot key *range* that would make compaction
+    locality trivially favourable.
+    """
+
+    def __init__(
+        self,
+        key_space: int,
+        constant: float,
+        rng: np.random.Generator,
+        scramble: bool = True,
+    ) -> None:
+        if key_space <= 0:
+            raise WorkloadError("key_space must be positive")
+        if constant <= 0:
+            raise WorkloadError("zipf constant must be positive")
+        self._rng = rng
+        ranks = np.arange(1, key_space + 1, dtype=np.float64)
+        weights = ranks ** (-float(constant))
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        if scramble:
+            # Permutation seeded independently of the sampling stream so
+            # the hot set is stable across runs with the same key space.
+            perm_rng = np.random.default_rng(key_space * 2654435761 % 2**32)
+            self._perm = perm_rng.permutation(key_space)
+        else:
+            self._perm = np.arange(key_space)
+
+    def sample(self) -> int:
+        u = self._rng.random()
+        rank = int(np.searchsorted(self._cdf, u, side="left"))
+        return int(self._perm[rank])
+
+    def probability_of_rank(self, rank: int) -> float:
+        """P(rank) for tests (1-based rank)."""
+        if rank == 1:
+            return float(self._cdf[0])
+        return float(self._cdf[rank - 1] - self._cdf[rank - 2])
+
+
+class LatestKeys:
+    """Recency-skewed indices over a growing key population.
+
+    Follows YCSB's "latest" pattern: sample a Zipf rank and subtract it
+    from the newest key's index, so recently inserted keys are hottest.
+    The caller advances :attr:`population` as inserts happen.
+    """
+
+    def __init__(
+        self, initial_population: int, constant: float, rng: np.random.Generator
+    ) -> None:
+        if initial_population <= 0:
+            raise WorkloadError("initial_population must be positive")
+        if constant <= 0:
+            raise WorkloadError("latest constant must be positive")
+        self.population = initial_population
+        self._constant = float(constant)
+        self._rng = rng
+
+    def sample(self) -> int:
+        # Rejection-free: draw uniform over CDF of a truncated Zipf by
+        # re-sampling ranks beyond the population (rare for skewed draws).
+        while True:
+            rank = int(self._rng.zipf(1.0 + self._constant))
+            if rank <= self.population:
+                return self.population - rank
+
+
+def make_distribution(
+    distribution: str,
+    key_space: int,
+    zipf_constant: float,
+    rng: np.random.Generator,
+) -> KeyDistribution:
+    """Factory mapping a spec's distribution name to a sampler."""
+    if distribution == "uniform":
+        return UniformKeys(key_space, rng)
+    if distribution == "zipf":
+        return ZipfKeys(key_space, zipf_constant, rng)
+    if distribution == "latest":
+        return LatestKeys(key_space, max(zipf_constant, 0.5), rng)
+    raise WorkloadError(f"unknown distribution {distribution!r}")

@@ -1,0 +1,130 @@
+"""Workload traces: record, persist, and replay operation streams.
+
+Benchmark reproducibility sometimes needs more than a seed — e.g. sharing
+the *exact* request sequence between engines written in different
+languages, or replaying a captured production trace.  This module gives
+the generator's operation stream a stable on-disk form:
+
+* one operation per line;
+* keys and values hex-encoded (traces are valid UTF-8 regardless of key
+  bytes);
+* a `#`-prefixed header carrying provenance.
+
+Format::
+
+    # repro-trace v1 name=RWB ops=4
+    put 6b6579 76616c7565
+    del 6b6579
+    get 6b6579
+    scan 6b6579 100
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from .spec import WorkloadSpec
+from .ycsb import OP_DELETE, OP_GET, OP_PUT, OP_SCAN, Operation, WorkloadGenerator
+from ..errors import WorkloadError
+
+_HEADER_PREFIX = "# repro-trace v1"
+
+
+def record_trace(spec: WorkloadSpec, include_preload: bool = False) -> List[Operation]:
+    """Materialise the operation stream a spec would generate."""
+    generator = WorkloadGenerator(spec)
+    operations: List[Operation] = []
+    if include_preload:
+        operations.extend(generator.preload_operations())
+    operations.extend(generator.operations())
+    return operations
+
+
+def write_trace(
+    operations: Iterable[Operation],
+    path: Union[str, Path],
+    name: str = "trace",
+) -> int:
+    """Persist operations to ``path``; returns the number written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="ascii") as handle:
+        lines = []
+        for operation in operations:
+            lines.append(_encode(operation))
+            count += 1
+        handle.write(f"{_HEADER_PREFIX} name={name} ops={count}\n")
+        handle.write("\n".join(lines))
+        if lines:
+            handle.write("\n")
+    return count
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[Operation]:
+    """Stream operations back from a trace file."""
+    path = Path(path)
+    with path.open("r", encoding="ascii") as handle:
+        first = handle.readline()
+        if not first.startswith(_HEADER_PREFIX):
+            raise WorkloadError(f"{path} is not a repro trace (bad header)")
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield _decode(line, path, line_number)
+
+
+def _encode(operation: Operation) -> str:
+    key_hex = operation.key.hex()
+    if operation.kind == OP_PUT:
+        value_hex = (operation.value or b"").hex()
+        return f"put {key_hex} {value_hex}"
+    if operation.kind == OP_DELETE:
+        return f"del {key_hex}"
+    if operation.kind == OP_GET:
+        return f"get {key_hex}"
+    if operation.kind == OP_SCAN:
+        return f"scan {key_hex} {operation.scan_length}"
+    raise WorkloadError(f"cannot encode operation kind {operation.kind!r}")
+
+
+def _decode(line: str, path: Path, line_number: int) -> Operation:
+    parts = line.split()
+    try:
+        kind = parts[0]
+        key = bytes.fromhex(parts[1])
+        if kind == "put":
+            return Operation(OP_PUT, key, bytes.fromhex(parts[2]))
+        if kind == "del":
+            return Operation(OP_DELETE, key)
+        if kind == "get":
+            return Operation(OP_GET, key)
+        if kind == "scan":
+            return Operation(OP_SCAN, key, scan_length=int(parts[2]))
+    except (IndexError, ValueError) as exc:
+        raise WorkloadError(f"{path}:{line_number}: malformed trace line") from exc
+    raise WorkloadError(f"{path}:{line_number}: unknown operation {kind!r}")
+
+
+def replay(db, operations: Iterable[Operation]) -> dict:
+    """Apply a trace to a database, returning the expected final contents.
+
+    Useful for differential testing: the returned dict is what a correct
+    store must contain after the replay.
+    """
+    model: dict = {}
+    for operation in operations:
+        if operation.kind == OP_PUT:
+            db.put(operation.key, operation.value or b"")
+            model[operation.key] = operation.value or b""
+        elif operation.kind == OP_DELETE:
+            db.delete(operation.key)
+            model.pop(operation.key, None)
+        elif operation.kind == OP_GET:
+            db.get(operation.key)
+        elif operation.kind == OP_SCAN:
+            db.scan(operation.key, operation.scan_length)
+        else:  # pragma: no cover - record_trace never emits others
+            raise WorkloadError(f"cannot replay operation kind {operation.kind!r}")
+    return model

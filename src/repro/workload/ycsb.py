@@ -1,0 +1,215 @@
+"""YCSB-like operation stream generator.
+
+Turns a :class:`~repro.workload.spec.WorkloadSpec` into a deterministic
+stream of operations (:class:`Operation`).  The paper drives LevelDB with
+the YCSB benchmark suite (§IV-A); this module reproduces the pieces the
+paper uses — random insertions mixed with point lookups or 100-record
+scans under uniform/Zipf key choice — and additionally offers the six
+classic YCSB core workloads (A–F) for the example applications.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple, Optional
+
+import numpy as np
+
+from .keydist import LatestKeys, make_distribution
+from .spec import WorkloadSpec
+from ..errors import WorkloadError
+
+OP_PUT = "put"
+OP_GET = "get"
+OP_SCAN = "scan"
+OP_DELETE = "delete"
+OP_RMW = "rmw"  # read-modify-write (YCSB F)
+
+
+class Operation(NamedTuple):
+    """One generated request."""
+
+    kind: str
+    key: bytes
+    value: Optional[bytes] = None
+    scan_length: int = 0
+
+
+class WorkloadGenerator:
+    """Deterministic operation stream for one workload spec.
+
+    Key encoding: zero-padded decimal strings of ``key_bytes`` length, so
+    lexicographic byte order equals numeric order and scan ranges behave
+    like YCSB's ordered keys.
+
+    Example
+    -------
+    >>> from repro.workload import rwb, WorkloadGenerator
+    >>> gen = WorkloadGenerator(rwb(num_operations=4, key_space=10))
+    >>> ops = list(gen.operations())
+    >>> len(ops)
+    4
+    """
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        root = np.random.SeedSequence(spec.seed)
+        op_seed, key_seed, value_seed, load_seed = root.spawn(4)
+        self._op_rng = np.random.default_rng(op_seed)
+        self._key_rng = np.random.default_rng(key_seed)
+        self._value_rng = np.random.default_rng(value_seed)
+        self._load_rng = np.random.default_rng(load_seed)
+        self._dist = make_distribution(
+            spec.distribution, spec.key_space, spec.zipf_constant, self._key_rng
+        )
+        self._value_counter = 0
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode_key(self, index: int) -> bytes:
+        """Map a key index to its fixed-width byte encoding."""
+        if not 0 <= index < self.spec.key_space:
+            raise WorkloadError(
+                f"key index {index} outside [0, {self.spec.key_space})"
+            )
+        return str(index).zfill(self.spec.key_bytes).encode("ascii")
+
+    def decode_key(self, key: bytes) -> int:
+        """Inverse of :meth:`encode_key`."""
+        return int(key)
+
+    def make_value(self) -> bytes:
+        """A fresh deterministic value of the configured size."""
+        self._value_counter += 1
+        stamp = (f"v{self._value_counter:08d}").encode("ascii")
+        if len(stamp) >= self.spec.value_bytes:
+            return stamp[: self.spec.value_bytes]
+        return stamp + b"x" * (self.spec.value_bytes - len(stamp))
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def preload_operations(self) -> Iterator[Operation]:
+        """The load phase: insert ``preload_keys`` distinct keys.
+
+        Insertion order is shuffled (seeded) so the loaded tree has
+        realistic overlap structure rather than a single sorted run.
+        """
+        count = min(self.spec.preload_keys, self.spec.key_space)
+        if count == 0:
+            return
+        order = self._load_rng.permutation(self.spec.key_space)[:count]
+        for index in order:
+            yield Operation(OP_PUT, self.encode_key(int(index)), self.make_value())
+
+    def operations(self) -> Iterator[Operation]:
+        """The measured phase: ``num_operations`` requests per the spec."""
+        spec = self.spec
+        for _ in range(spec.num_operations):
+            index = self._sample_index()
+            key = self.encode_key(index)
+            if self._op_rng.random() < spec.write_ratio:
+                if spec.delete_ratio and self._op_rng.random() < spec.delete_ratio:
+                    yield Operation(OP_DELETE, key)
+                else:
+                    yield Operation(OP_PUT, key, self.make_value())
+            elif spec.query_type == "scan":
+                yield Operation(OP_SCAN, key, scan_length=spec.scan_length)
+            else:
+                yield Operation(OP_GET, key)
+            if isinstance(self._dist, LatestKeys):
+                self._dist.population = min(
+                    self.spec.key_space, self._dist.population + 1
+                )
+
+    def _sample_index(self) -> int:
+        return self._dist.sample()
+
+
+# ----------------------------------------------------------------------
+# Classic YCSB core workloads (A-F) — extensions beyond the paper's mixes,
+# used by the example applications.
+# ----------------------------------------------------------------------
+def ycsb_a(**overrides: object) -> WorkloadSpec:
+    """YCSB-A: 50% reads / 50% updates, Zipfian."""
+    defaults = dict(
+        num_operations=100_000,
+        key_space=50_000,
+        preload_keys=50_000,
+        distribution="zipf",
+        zipf_constant=0.99,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(name="YCSB-A", write_ratio=0.5, **defaults)  # type: ignore[arg-type]
+
+
+def ycsb_b(**overrides: object) -> WorkloadSpec:
+    """YCSB-B: 95% reads / 5% updates, Zipfian."""
+    defaults = dict(
+        num_operations=100_000,
+        key_space=50_000,
+        preload_keys=50_000,
+        distribution="zipf",
+        zipf_constant=0.99,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(name="YCSB-B", write_ratio=0.05, **defaults)  # type: ignore[arg-type]
+
+
+def ycsb_c(**overrides: object) -> WorkloadSpec:
+    """YCSB-C: 100% reads, Zipfian."""
+    defaults = dict(
+        num_operations=100_000,
+        key_space=50_000,
+        preload_keys=50_000,
+        distribution="zipf",
+        zipf_constant=0.99,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(name="YCSB-C", write_ratio=0.0, **defaults)  # type: ignore[arg-type]
+
+
+def ycsb_d(**overrides: object) -> WorkloadSpec:
+    """YCSB-D: 95% reads of recently inserted keys / 5% inserts."""
+    defaults = dict(
+        num_operations=100_000,
+        key_space=50_000,
+        preload_keys=25_000,
+        distribution="latest",
+        zipf_constant=0.99,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(name="YCSB-D", write_ratio=0.05, **defaults)  # type: ignore[arg-type]
+
+
+def ycsb_e(**overrides: object) -> WorkloadSpec:
+    """YCSB-E: 95% short scans / 5% inserts, Zipfian."""
+    defaults = dict(
+        num_operations=50_000,
+        key_space=50_000,
+        preload_keys=50_000,
+        distribution="zipf",
+        zipf_constant=0.99,
+        scan_length=50,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(
+        name="YCSB-E", write_ratio=0.05, query_type="scan", **defaults  # type: ignore[arg-type]
+    )
+
+
+def ycsb_f(**overrides: object) -> WorkloadSpec:
+    """YCSB-F: 50% reads / 50% read-modify-writes, Zipfian.
+
+    The runner executes a read-modify-write as a get followed by a put of
+    the same key; the spec models it as a 50% write ratio.
+    """
+    defaults = dict(
+        num_operations=100_000,
+        key_space=50_000,
+        preload_keys=50_000,
+        distribution="zipf",
+        zipf_constant=0.99,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(name="YCSB-F", write_ratio=0.5, **defaults)  # type: ignore[arg-type]

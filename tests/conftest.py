@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite.
+
+The ``tiny_config`` fixture shrinks every size knob so that flushes and
+compactions happen within a few hundred operations, letting unit tests
+exercise deep-tree behaviour quickly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import DB, LDCPolicy, LeveledCompaction, TieredCompaction
+from repro.lsm.config import LSMConfig
+
+
+@pytest.fixture
+def tiny_config() -> LSMConfig:
+    """A configuration that compacts early and often."""
+    return LSMConfig(
+        memtable_bytes=2048,
+        sstable_target_bytes=2048,
+        block_bytes=512,
+        fan_out=4,
+        level1_capacity_bytes=4096,
+        max_levels=6,
+        bloom_bits_per_key=10,
+        slicelink_threshold=4,
+    )
+
+
+@pytest.fixture
+def udc_db(tiny_config: LSMConfig) -> DB:
+    return DB(config=tiny_config, policy=LeveledCompaction())
+
+
+@pytest.fixture
+def ldc_db(tiny_config: LSMConfig) -> DB:
+    return DB(config=tiny_config, policy=LDCPolicy())
+
+
+@pytest.fixture
+def tiered_db(tiny_config: LSMConfig) -> DB:
+    return DB(config=tiny_config, policy=TieredCompaction())
+
+
+@pytest.fixture(params=["udc", "ldc", "tiered"])
+def any_db(request: pytest.FixtureRequest, tiny_config: LSMConfig) -> DB:
+    """Parametrised fixture running a test against every policy."""
+    policies = {
+        "udc": LeveledCompaction,
+        "ldc": LDCPolicy,
+        "tiered": TieredCompaction,
+    }
+    return DB(config=tiny_config, policy=policies[request.param]())
+
+
+def key_of(index: int, width: int = 12) -> bytes:
+    """Fixed-width numeric key used throughout the tests."""
+    return str(index).zfill(width).encode()
+
+
+@pytest.fixture
+def seeded_rng() -> random.Random:
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig08"])
+        assert args.experiment == "fig08"
+        assert args.ops == 20_000
+        assert args.keys == 8_000
+
+    def test_overrides(self):
+        args = build_parser().parse_args(["fig14", "--ops", "500", "--keys", "100"])
+        assert args.ops == 500
+        assert args.keys == 100
+
+
+class TestDispatch:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig01", "fig08", "fig15", "tiered"):
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_covers_every_figure(self):
+        expected = {
+            "fig01", "tab1", "fig07", "fig08", "fig09", "fig10a", "fig10b",
+            "fig10c", "fig11", "fig12ad", "fig12be", "fig12cf", "fig13",
+            "fig14", "fig15",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    @pytest.mark.parametrize("name", ["tab1", "fig08", "describe"])
+    def test_run_tiny(self, capsys, name):
+        """Each CLI path runs end-to-end at tiny scale."""
+        assert main([name, "--ops", "1200", "--keys", "400"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_fig13_runs(self, capsys):
+        assert main(["fig13", "--ops", "800", "--keys", "300"]) == 0
+        assert "bits/key" in capsys.readouterr().out
+
+    def test_counts_runner_path(self, capsys):
+        """fig14/fig15 dispatch through the request-count sweep runner."""
+        assert main(["fig15", "--ops", "900", "--keys", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "space MiB" in out and "LDC" in out
+
+    def test_matrix_runner_path(self, capsys):
+        assert main(["fig09", "--ops", "900", "--keys", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "workload" in out and "p99.9" in out

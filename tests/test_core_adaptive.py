@@ -1,0 +1,89 @@
+"""Unit tests for the self-adaptive SliceLink threshold (§III-B.4)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveThreshold
+from repro.errors import ConfigError
+
+
+class TestConstruction:
+    def test_initial_threshold_from_ratio(self):
+        controller = AdaptiveThreshold(fan_out=10, initial_write_ratio=0.5)
+        assert controller.threshold == 10  # 2 * 10 * 0.5
+
+    def test_write_only_maps_to_double_fanout(self):
+        controller = AdaptiveThreshold(fan_out=10, initial_write_ratio=1.0)
+        assert controller.threshold == 20
+
+    def test_read_only_maps_to_minimum(self):
+        controller = AdaptiveThreshold(fan_out=10, initial_write_ratio=0.0)
+        assert controller.threshold == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(fan_out=1),
+            dict(fan_out=10, initial_write_ratio=1.5),
+            dict(fan_out=10, smoothing=0.0),
+            dict(fan_out=10, smoothing=1.5),
+            dict(fan_out=10, update_every=0),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            AdaptiveThreshold(**kwargs)
+
+
+class TestAdaptation:
+    def test_converges_up_under_writes(self):
+        controller = AdaptiveThreshold(
+            fan_out=10, initial_write_ratio=0.5, smoothing=0.3, update_every=10
+        )
+        for _ in range(2000):
+            controller.observe(True)
+        assert controller.write_ratio > 0.95
+        assert controller.threshold >= 19
+
+    def test_converges_down_under_reads(self):
+        controller = AdaptiveThreshold(
+            fan_out=10, initial_write_ratio=0.5, smoothing=0.3, update_every=10
+        )
+        for _ in range(2000):
+            controller.observe(False)
+        assert controller.write_ratio < 0.05
+        assert controller.threshold <= 2
+
+    def test_tracks_balanced_mix(self):
+        controller = AdaptiveThreshold(
+            fan_out=10, initial_write_ratio=0.9, smoothing=0.2, update_every=16
+        )
+        for index in range(4000):
+            controller.observe(index % 2 == 0)
+        assert controller.write_ratio == pytest.approx(0.5, abs=0.1)
+        assert 8 <= controller.threshold <= 12
+
+    def test_updates_happen_in_batches(self):
+        controller = AdaptiveThreshold(fan_out=10, update_every=100)
+        before = controller.threshold
+        for _ in range(99):
+            controller.observe(True)
+        assert controller.threshold == before  # not yet updated
+        controller.observe(True)
+        assert controller.write_ratio > 0.5  # batch applied
+
+    def test_threshold_never_below_one(self):
+        controller = AdaptiveThreshold(
+            fan_out=2, initial_write_ratio=0.0, smoothing=1.0, update_every=1
+        )
+        for _ in range(50):
+            controller.observe(False)
+        assert controller.threshold >= 1
+
+    def test_smoothing_limits_swing(self):
+        """A short burst must not slam the threshold to the extreme."""
+        controller = AdaptiveThreshold(
+            fan_out=10, initial_write_ratio=0.5, smoothing=0.02, update_every=10
+        )
+        for _ in range(20):
+            controller.observe(True)
+        assert controller.write_ratio < 0.6

@@ -1,0 +1,109 @@
+"""Unit tests for the frozen region (refcounted delayed GC)."""
+
+import pytest
+
+from repro.core.frozen import FrozenRegion
+from repro.errors import EngineError
+from repro.lsm.config import LSMConfig
+from repro.lsm.record import put_record
+from repro.lsm.sstable import SSTable
+
+CONFIG = LSMConfig()
+_ids = iter(range(1, 1000))
+
+
+def make_table(count: int = 10) -> SSTable:
+    records = [put_record(str(i).zfill(6).encode(), b"v" * 10, i) for i in range(count)]
+    return SSTable.from_records(next(_ids), records, CONFIG)
+
+
+class TestFreeze:
+    def test_freeze_marks_table(self):
+        region = FrozenRegion()
+        table = make_table()
+        region.freeze(table, references=3)
+        assert table.frozen
+        assert table.refcount == 3
+        assert table in region
+        assert len(region) == 1
+        assert region.space_bytes == table.data_size
+
+    def test_zero_references_rejected(self):
+        with pytest.raises(EngineError):
+            FrozenRegion().freeze(make_table(), references=0)
+
+    def test_double_freeze_rejected(self):
+        region = FrozenRegion()
+        table = make_table()
+        region.freeze(table, references=1)
+        with pytest.raises(EngineError, match="already"):
+            region.freeze(table, references=1)
+
+    def test_table_with_links_cannot_freeze(self):
+        """Paper §III-D: an SSTable with SliceLinks cannot be linked down."""
+        region = FrozenRegion()
+        target = make_table()
+        source = make_table()
+        source.frozen = True
+        from repro.core.slice import Slice, attach_slice
+
+        attach_slice(target, Slice(source, None, None, link_seq=1))
+        with pytest.raises(EngineError, match="SliceLinks"):
+            region.freeze(target, references=1)
+
+
+class TestRelease:
+    def test_release_decrements(self):
+        region = FrozenRegion()
+        table = make_table()
+        region.freeze(table, references=2)
+        assert region.release(table) is False
+        assert table.refcount == 1
+        assert table in region
+
+    def test_final_release_recycles(self):
+        region = FrozenRegion()
+        table = make_table()
+        region.freeze(table, references=2)
+        region.release(table)
+        assert region.release(table) is True
+        assert table not in region
+        assert not table.frozen
+        assert region.space_bytes == 0
+        assert region.total_recycled == 1
+
+    def test_release_unfrozen_rejected(self):
+        with pytest.raises(EngineError):
+            FrozenRegion().release(make_table())
+
+    def test_space_accounts_multiple_files(self):
+        region = FrozenRegion()
+        a, b = make_table(20), make_table(30)
+        region.freeze(a, references=1)
+        region.freeze(b, references=1)
+        assert region.space_bytes == a.data_size + b.data_size
+        region.release(a)
+        assert region.space_bytes == b.data_size
+
+    def test_counters(self):
+        region = FrozenRegion()
+        for _ in range(3):
+            table = make_table()
+            region.freeze(table, references=1)
+            region.release(table)
+        assert region.total_frozen_ever == 3
+        assert region.total_recycled == 3
+
+
+class TestInvariants:
+    def test_clean_region_passes(self):
+        region = FrozenRegion()
+        region.freeze(make_table(), references=2)
+        region.check_invariants()
+
+    def test_space_drift_detected(self):
+        region = FrozenRegion()
+        region.freeze(make_table(), references=1)
+        region._space_bytes += 7
+        with pytest.raises(EngineError, match="space"):
+            region.check_invariants()

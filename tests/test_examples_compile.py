@@ -1,0 +1,44 @@
+"""Guard against example bitrot: every example must at least compile and
+import only names the library actually exports."""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every `from repro... import X` in an example must resolve."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module == "repro" or node.module.startswith("repro.")
+        ):
+            module = __import__(node.module, fromlist=[a.name for a in node.names])
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module} has no attribute {alias.name}"
+                )
+
+
+def test_expected_examples_present():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "social_feed.py",
+        "ssd_endurance.py",
+        "compare_policies.py",
+        "adaptive_tuning.py",
+        "trace_replay.py",
+        "btree_absorption.py",
+    } <= names

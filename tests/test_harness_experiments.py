@@ -1,0 +1,112 @@
+"""Tiny-scale smoke tests for every per-figure experiment entry point.
+
+The benchmarks run these at realistic scale and assert the paper's shapes;
+here we only check each function runs end-to-end and returns the expected
+structure — fast enough for the unit suite.
+"""
+
+import pytest
+
+from repro.harness import experiments
+
+OPS = 1500
+KEYS = 600
+
+
+class TestFigureExperiments:
+    def test_fig01(self):
+        out = experiments.fig01_latency_fluctuation(ops=OPS, key_space=KEYS)
+        assert out["fluctuation_ratio"] >= 1.0
+        assert len(out["points"]) >= 1
+
+    def test_tab1(self):
+        shares = experiments.tab1_time_breakdown(ops=OPS, key_space=KEYS)
+        assert set(shares) == {"DoCompactionWork", "file system", "DoWrite", "Others"}
+        assert sum(shares.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_fig07(self):
+        out = experiments.fig07_fanout_udc(fan_outs=(3, 10), ops=OPS, key_space=KEYS)
+        assert len(out.rows) == 2
+        assert all(row.policy == "UDC" for row in out.rows)
+
+    def test_fig08(self):
+        out = experiments.fig08_tail_latency(ops=OPS, key_space=KEYS)
+        assert set(out) == {"UDC", "LDC"}
+        assert set(out["UDC"]) == {90.0, 99.0, 99.9, 99.99}
+
+    def test_fig09(self):
+        out = experiments.fig09_avg_latency(ops=OPS, key_space=KEYS)
+        assert out.result_for("WH", "UDC").mean_latency_us > 0
+        assert out.result_for("RH", "LDC").mean_latency_us > 0
+
+    def test_fig10a(self):
+        out = experiments.fig10a_throughput_get(ops=OPS, key_space=KEYS)
+        assert len(out.rows) == 10  # 5 mixes x 2 policies
+        assert out.result_for("WO", "LDC").throughput_ops_s > 0
+
+    def test_fig10b(self):
+        out = experiments.fig10b_throughput_scan(ops=OPS, key_space=KEYS)
+        assert len(out.rows) == 6
+
+    def test_fig10c(self):
+        out = experiments.fig10c_compaction_io(ops=OPS, key_space=KEYS)
+        assert out.result_for("WO", "UDC").compaction_bytes_total >= 0
+
+    def test_fig11(self):
+        out = experiments.fig11_zipf(zipf_constants=(1.0,), ops=OPS, key_space=KEYS)
+        names = {row.workload for row in out.rows}
+        assert names == {"RWB", "Zipf1"}
+
+    def test_fig12ad(self):
+        out = experiments.fig12ad_slicelink_threshold(
+            thresholds=(2, 10), ops=OPS, key_space=KEYS
+        )
+        labels = {row.workload for row in out.rows}
+        assert labels == {"T_s=2", "T_s=10", "reference"}
+
+    def test_fig12be(self):
+        out = experiments.fig12be_fanout_sweep(fan_outs=(4,), ops=OPS, key_space=KEYS)
+        assert len(out.rows) == 2
+
+    def test_fig12cf(self):
+        out = experiments.fig12cf_bloom_rwb(bits_per_key=(10,), ops=OPS, key_space=KEYS)
+        assert len(out.rows) == 2
+
+    def test_fig13(self):
+        out = experiments.fig13_bloom_ro(bits_per_key=(4, 16), ops=OPS, key_space=KEYS)
+        assert set(out) == {4, 16}
+        assert out[4]["block_reads"] >= out[16]["block_reads"]
+        assert out[16]["filter_bytes_per_table"] == 4 * out[4]["filter_bytes_per_table"]
+
+    def test_fig14(self):
+        out = experiments.fig14_scalability(request_counts=(OPS,))
+        assert len(out.rows) == 2
+
+    def test_fig15(self):
+        out = experiments.fig15_space(request_counts=(OPS,))
+        ldc = out.result_for(f"N={OPS}", "LDC")
+        assert ldc.space_bytes >= ldc.live_bytes
+
+    def test_missing_row_raises(self):
+        out = experiments.fig14_scalability(request_counts=(OPS,))
+        with pytest.raises(KeyError):
+            out.result_for("nope", "UDC")
+
+
+class TestAblations:
+    def test_adaptive(self):
+        out = experiments.ablation_adaptive_threshold(ops=OPS, key_space=KEYS)
+        assert len(out.rows) == 6
+        adaptive = out.result_for("WH", "LDC-adaptive")
+        assert adaptive.final_threshold is not None
+
+    def test_tiered(self):
+        out = experiments.ablation_tiered_tail(ops=OPS, key_space=KEYS)
+        policies = {row.policy for row in out.rows}
+        assert policies == {"UDC", "LDC", "Tiered", "Delayed"}
+
+    def test_asymmetry(self):
+        out = experiments.ablation_device_asymmetry(
+            write_bandwidths=(250.0, 2000.0), ops=OPS, key_space=KEYS
+        )
+        assert len(out.rows) == 4

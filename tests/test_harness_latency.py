@@ -1,0 +1,128 @@
+"""Unit tests for latency recording and the fluctuation timeline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.harness.latency import (
+    PAPER_PERCENTILES,
+    LatencyRecorder,
+    LatencyTimeline,
+)
+
+
+class TestLatencyRecorder:
+    def test_empty_recorder_raises(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ReproError):
+            recorder.percentile(99.0)
+        with pytest.raises(ReproError):
+            recorder.mean()
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ReproError):
+            LatencyRecorder().record(-1.0)
+
+    def test_single_value(self):
+        recorder = LatencyRecorder()
+        recorder.record(5.0)
+        assert recorder.percentile(50) == 5.0
+        assert recorder.percentile(99.99) == 5.0
+        assert recorder.mean() == 5.0
+
+    def test_percentiles_of_known_distribution(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):  # 1..100
+            recorder.record(float(value))
+        assert recorder.percentile(50) == 50.0
+        assert recorder.percentile(90) == 90.0
+        assert recorder.percentile(99) == 99.0
+        assert recorder.percentile(100) == 100.0
+
+    def test_paper_percentiles_constant(self):
+        assert PAPER_PERCENTILES == (90.0, 99.0, 99.9, 99.99)
+
+    def test_percentiles_dict(self):
+        recorder = LatencyRecorder()
+        for value in range(1000):
+            recorder.record(float(value))
+        result = recorder.percentiles()
+        assert set(result) == set(PAPER_PERCENTILES)
+        assert result[99.0] <= result[99.9] <= result[99.99]
+
+    def test_min_max(self):
+        recorder = LatencyRecorder()
+        for value in (3.0, 1.0, 2.0):
+            recorder.record(value)
+        assert recorder.minimum() == 1.0
+        assert recorder.maximum() == 3.0
+
+    def test_bad_percentile_rejected(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        with pytest.raises(ReproError):
+            recorder.percentile(0.0)
+        with pytest.raises(ReproError):
+            recorder.percentile(101.0)
+
+    def test_recording_after_query_works(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        recorder.percentile(50)
+        recorder.record(100.0)
+        assert recorder.maximum() == 100.0
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=300))
+    @settings(max_examples=40)
+    def test_percentile_bounds_property(self, values):
+        recorder = LatencyRecorder()
+        for value in values:
+            recorder.record(value)
+        for pct in (50, 90, 99, 99.9):
+            result = recorder.percentile(pct)
+            assert min(values) <= result <= max(values)
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=300))
+    @settings(max_examples=40)
+    def test_percentile_monotone_property(self, values):
+        recorder = LatencyRecorder()
+        for value in values:
+            recorder.record(value)
+        results = [recorder.percentile(p) for p in (10, 50, 90, 99, 99.99)]
+        assert results == sorted(results)
+
+
+class TestLatencyTimeline:
+    def test_bucketing(self):
+        timeline = LatencyTimeline(bucket_us=100.0)
+        timeline.record(10.0, 5.0)
+        timeline.record(50.0, 15.0)
+        timeline.record(150.0, 100.0)
+        points = timeline.points()
+        assert len(points) == 2
+        assert points[0].count == 2
+        assert points[0].mean_latency_us == pytest.approx(10.0)
+        assert points[0].max_latency_us == 15.0
+        assert points[1].mean_latency_us == pytest.approx(100.0)
+
+    def test_fluctuation_ratio(self):
+        """The Fig. 1 statistic: max bucket mean over min bucket mean."""
+        timeline = LatencyTimeline(bucket_us=100.0)
+        timeline.record(10.0, 2.0)
+        timeline.record(150.0, 98.0)  # a compaction-stalled bucket
+        assert timeline.fluctuation_ratio() == pytest.approx(49.0)
+
+    def test_empty_timeline_raises(self):
+        with pytest.raises(ReproError):
+            LatencyTimeline().fluctuation_ratio()
+
+    def test_bad_bucket_width(self):
+        with pytest.raises(ReproError):
+            LatencyTimeline(bucket_us=0.0)
+
+    def test_points_sorted_by_time(self):
+        timeline = LatencyTimeline(bucket_us=10.0)
+        for timestamp in (95.0, 5.0, 55.0):
+            timeline.record(timestamp, 1.0)
+        starts = [point.start_us for point in timeline.points()]
+        assert starts == sorted(starts)

@@ -1,0 +1,139 @@
+"""Integration tests for the workload runner and reports."""
+
+import pytest
+
+from repro import LDCPolicy, LeveledCompaction
+from repro.harness.report import format_table, improvement, mib, paper_row, ratio
+from repro.harness.runner import run_workload
+from repro.lsm.config import LSMConfig
+from repro.workload import ro, rwb, scn_rwb, wo, ycsb_f
+
+SMALL = LSMConfig(
+    memtable_bytes=4096,
+    sstable_target_bytes=4096,
+    block_bytes=1024,
+    fan_out=4,
+    level1_capacity_bytes=8192,
+    slicelink_threshold=4,
+)
+
+
+def small_rwb(**overrides):
+    defaults = dict(
+        num_operations=2000, key_space=500, value_bytes=64, preload_keys=500
+    )
+    defaults.update(overrides)
+    return rwb(**defaults)
+
+
+class TestRunWorkload:
+    def test_basic_run_produces_metrics(self):
+        result = run_workload(small_rwb(), LeveledCompaction, config=SMALL)
+        assert result.operations == 2000
+        assert result.elapsed_us > 0
+        assert result.throughput_ops_s > 0
+        assert result.mean_latency_us > 0
+        assert len(result.latencies) == 2000
+        assert result.workload == "RWB"
+        assert result.policy == "udc"
+
+    def test_latency_split_by_kind(self):
+        result = run_workload(small_rwb(), LeveledCompaction, config=SMALL)
+        assert len(result.write_latencies) + len(result.read_latencies) == 2000
+        assert len(result.write_latencies) == pytest.approx(1000, abs=150)
+
+    def test_preload_not_measured(self):
+        """Loaded keys must not count toward measured operations or I/O."""
+        result = run_workload(
+            ro(num_operations=500, key_space=300, preload_keys=300, value_bytes=64),
+            LeveledCompaction,
+            config=SMALL,
+        )
+        assert result.operations == 500
+        assert result.user_bytes_written == 0  # read-only measured phase
+        assert len(result.write_latencies) == 0
+
+    def test_scan_workload(self):
+        result = run_workload(
+            scn_rwb(
+                num_operations=400,
+                key_space=300,
+                preload_keys=300,
+                value_bytes=64,
+                scan_length=10,
+            ),
+            LeveledCompaction,
+            config=SMALL,
+        )
+        assert len(result.scan_latencies) > 0
+
+    def test_rmw_workload_runs(self):
+        result = run_workload(
+            ycsb_f(num_operations=300, key_space=200, preload_keys=200, value_bytes=64),
+            LeveledCompaction,
+            config=SMALL,
+        )
+        assert result.operations == 300
+
+    def test_ldc_policy_counters_surface(self):
+        result = run_workload(
+            small_rwb(num_operations=4000), LDCPolicy, config=SMALL
+        )
+        assert result.policy == "ldc"
+        assert result.link_count > 0
+        assert result.final_threshold == SMALL.slicelink_threshold
+
+    def test_deterministic(self):
+        a = run_workload(small_rwb(), LeveledCompaction, config=SMALL)
+        b = run_workload(small_rwb(), LeveledCompaction, config=SMALL)
+        assert a.elapsed_us == b.elapsed_us
+        assert a.compaction_bytes_total == b.compaction_bytes_total
+        assert a.latencies.percentile(99) == b.latencies.percentile(99)
+
+    def test_summary_keys(self):
+        result = run_workload(small_rwb(), LeveledCompaction, config=SMALL)
+        summary = result.summary()
+        assert {"throughput_ops_s", "p999_us", "write_amplification"} <= set(summary)
+
+    def test_write_only_counts_user_bytes(self):
+        result = run_workload(
+            wo(num_operations=1000, key_space=300, value_bytes=64),
+            LeveledCompaction,
+            config=SMALL,
+        )
+        assert result.user_bytes_written == 1000 * (16 + 64 + 13)
+
+    def test_timeline_collected(self):
+        result = run_workload(
+            small_rwb(), LeveledCompaction, config=SMALL, timeline_bucket_us=10_000
+        )
+        assert len(result.timeline.points()) >= 1
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [("alpha", 1.0), ("b", 123456.0)],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "alpha" in lines[3]
+
+    def test_improvement(self):
+        assert improvement(150.0, 100.0) == "+50.0%"
+        assert improvement(50.0, 100.0) == "-50.0%"
+        assert improvement(1.0, 0.0) == "n/a"
+
+    def test_ratio(self):
+        assert ratio(262.0, 100.0) == "2.62x"
+        assert ratio(1.0, 0.0) == "n/a"
+
+    def test_mib(self):
+        assert mib(2**20) == 1.0
+
+    def test_paper_row(self):
+        row = paper_row("P99.9", "469.66us", "123.4us")
+        assert "paper" in row and "measured" in row

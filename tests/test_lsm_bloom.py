@@ -1,0 +1,113 @@
+"""Unit and property tests for Bloom filters."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lsm.bloom import BloomFilter, optimal_hash_count, theoretical_fpr
+
+keys = st.binary(min_size=1, max_size=16)
+
+
+class TestBasics:
+    def test_contains_all_inserted(self):
+        keyset = [f"key{i}".encode() for i in range(100)]
+        bloom = BloomFilter(keyset, bits_per_key=10)
+        assert all(bloom.may_contain(key) for key in keyset)
+
+    def test_zero_bits_answers_maybe(self):
+        bloom = BloomFilter([b"a"], bits_per_key=0)
+        assert bloom.may_contain(b"anything")
+        assert bloom.size_bytes == 0
+
+    def test_empty_keyset(self):
+        bloom = BloomFilter([], bits_per_key=10)
+        assert bloom.may_contain(b"x")  # degenerate filter says maybe
+
+    def test_size_scales_with_bits_per_key(self):
+        keyset = [f"key{i}".encode() for i in range(1000)]
+        small = BloomFilter(keyset, bits_per_key=8)
+        large = BloomFilter(keyset, bits_per_key=64)
+        assert large.size_bytes == pytest.approx(small.size_bytes * 8, rel=0.01)
+
+    def test_paper_fig13_size_shape(self):
+        """Fig. 13: filter size is linear in bits/key (bits/8 bytes per key).
+
+        (The paper's absolute 11.3 KB at 8 bits/key for a 2-MB SSTable
+        reflects LevelDB's Snappy block compression packing ~11.5k pairs
+        per file; our uncompressed tables hold ~2k.  The *law* — size =
+        keys x bits/8 — is what carries over.)
+        """
+        keys_per_table = 2 * 2**20 // (16 + 1024 + 13)
+        bloom = BloomFilter(
+            [str(i).zfill(16).encode() for i in range(keys_per_table)],
+            bits_per_key=8,
+        )
+        assert bloom.size_bytes == pytest.approx(keys_per_table * 8 / 8, rel=0.05)
+
+    def test_deterministic_across_instances(self):
+        keyset = [f"k{i}".encode() for i in range(50)]
+        a = BloomFilter(keyset, 10)
+        b = BloomFilter(keyset, 10)
+        probes = [f"p{i}".encode() for i in range(200)]
+        assert [a.may_contain(p) for p in probes] == [b.may_contain(p) for p in probes]
+
+
+class TestFalsePositiveRate:
+    def test_fpr_reasonable_at_10_bits(self):
+        """~1% expected at 10 bits/key; assert well under 5%."""
+        keyset = [f"member{i}".encode() for i in range(2000)]
+        bloom = BloomFilter(keyset, bits_per_key=10)
+        probes = (f"absent{i}".encode() for i in range(5000))
+        assert bloom.false_positive_rate(probes) < 0.05
+
+    def test_fpr_improves_with_more_bits(self):
+        keyset = [f"member{i}".encode() for i in range(2000)]
+        probes = [f"absent{i}".encode() for i in range(5000)]
+        fpr4 = BloomFilter(keyset, 4).false_positive_rate(probes)
+        fpr16 = BloomFilter(keyset, 16).false_positive_rate(probes)
+        assert fpr16 < fpr4
+
+    def test_diminishing_returns_past_16_bits(self):
+        """Fig. 13's conclusion: beyond ~16 bits/key gains are negligible."""
+        keyset = [f"member{i}".encode() for i in range(1000)]
+        probes = [f"absent{i}".encode() for i in range(5000)]
+        fpr16 = BloomFilter(keyset, 16).false_positive_rate(probes)
+        fpr128 = BloomFilter(keyset, 128).false_positive_rate(probes)
+        assert fpr16 - fpr128 < 0.005
+
+    def test_empirical_close_to_theoretical(self):
+        keyset = [f"member{i}".encode() for i in range(3000)]
+        probes = [f"absent{i}".encode() for i in range(10000)]
+        measured = BloomFilter(keyset, 8).false_positive_rate(probes)
+        expected = theoretical_fpr(8)
+        assert measured == pytest.approx(expected, abs=0.02)
+
+
+class TestHashCount:
+    def test_optimal_hash_count_formula(self):
+        assert optimal_hash_count(10) == 7  # 10 * ln2 ~ 6.93
+        assert optimal_hash_count(1) == 1
+        assert optimal_hash_count(100) == 30  # clamped
+
+    def test_theoretical_fpr_monotone(self):
+        values = [theoretical_fpr(b) for b in (0, 1, 4, 8, 16, 32)]
+        assert values == sorted(values, reverse=True)
+        assert theoretical_fpr(0) == 1.0
+
+
+class TestProperties:
+    @given(st.sets(keys, min_size=1, max_size=300))
+    @settings(max_examples=40)
+    def test_no_false_negatives_ever(self, key_set):
+        """The defining Bloom filter invariant."""
+        bloom = BloomFilter(sorted(key_set), bits_per_key=10)
+        assert all(bloom.may_contain(key) for key in key_set)
+
+    @given(
+        st.sets(keys, min_size=1, max_size=100),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=30)
+    def test_no_false_negatives_any_size(self, key_set, bits):
+        bloom = BloomFilter(sorted(key_set), bits_per_key=bits)
+        assert all(bloom.may_contain(key) for key in key_set)

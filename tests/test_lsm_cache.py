@@ -1,0 +1,161 @@
+"""Unit and integration tests for the LRU block cache."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DB, LDCPolicy, LeveledCompaction
+from repro.errors import ConfigError
+from repro.lsm.cache import BlockCache
+from repro.lsm.config import LSMConfig
+
+from tests.conftest import key_of
+
+
+class TestBlockCacheUnit:
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            BlockCache(0)
+
+    def test_miss_then_hit(self):
+        cache = BlockCache(1024)
+        assert not cache.lookup(1, 0)
+        cache.insert(1, 0, 100)
+        assert cache.lookup(1, 0)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = BlockCache(300)
+        cache.insert(1, 0, 100)
+        cache.insert(1, 1, 100)
+        cache.insert(1, 2, 100)
+        cache.lookup(1, 0)  # refresh block 0
+        cache.insert(1, 3, 100)  # evicts block 1 (LRU)
+        assert cache.lookup(1, 0)
+        assert not cache.lookup(1, 1)
+        assert cache.lookup(1, 2)
+        assert cache.lookup(1, 3)
+
+    def test_capacity_respected(self):
+        cache = BlockCache(500)
+        for index in range(50):
+            cache.insert(1, index, 100)
+        assert cache.used_bytes <= 500
+        assert len(cache) <= 5
+
+    def test_oversized_block_not_cached(self):
+        cache = BlockCache(100)
+        cache.insert(1, 0, 1000)
+        assert len(cache) == 0
+        assert not cache.lookup(1, 0)
+
+    def test_reinsert_updates_size(self):
+        cache = BlockCache(1000)
+        cache.insert(1, 0, 100)
+        cache.insert(1, 0, 300)
+        assert cache.used_bytes == 300
+        assert len(cache) == 1
+
+    def test_files_do_not_collide(self):
+        cache = BlockCache(1000)
+        cache.insert(1, 0, 100)
+        assert not cache.lookup(2, 0)
+
+    def test_hit_ratio(self):
+        cache = BlockCache(1000)
+        assert cache.hit_ratio == 0.0
+        cache.insert(1, 0, 10)
+        cache.lookup(1, 0)
+        cache.lookup(1, 1)
+        # one miss from the failed lookup above plus the hit
+        assert 0.0 < cache.hit_ratio < 1.0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 10), st.integers(1, 200)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=30)
+    def test_capacity_invariant_property(self, inserts):
+        cache = BlockCache(512)
+        for file_id, block, nbytes in inserts:
+            cache.insert(file_id, block, nbytes)
+            assert cache.used_bytes <= 512
+
+
+class TestCacheInEngine:
+    def _config(self, cache_bytes):
+        return LSMConfig(
+            memtable_bytes=2048,
+            sstable_target_bytes=2048,
+            block_bytes=512,
+            fan_out=4,
+            level1_capacity_bytes=4096,
+            block_cache_bytes=cache_bytes,
+        )
+
+    def test_disabled_by_default(self, udc_db):
+        assert udc_db.block_cache is None
+
+    def test_enabled_via_config(self):
+        db = DB(config=self._config(8192), policy=LeveledCompaction())
+        assert db.block_cache is not None
+
+    def test_repeated_reads_hit_cache(self):
+        db = DB(config=self._config(64 * 1024), policy=LeveledCompaction())
+        for index in range(1000):
+            db.put(key_of(index), b"v" * 40)
+        db.flush()
+        for _ in range(50):
+            db.get(key_of(7))
+        assert db.block_cache.hits > 0
+
+    def test_cached_reads_cost_less_device_time(self):
+        timings = {}
+        reads = {}
+        for cache_bytes in (0, 64 * 1024):
+            db = DB(config=self._config(cache_bytes), policy=LeveledCompaction())
+            for index in range(1500):
+                db.put(key_of(index), b"v" * 40)
+            db.policy.maybe_compact()
+            start = db.clock.now()
+            for _ in range(400):
+                db.get(key_of(3))  # maximally hot key
+            timings[cache_bytes] = db.clock.now() - start
+            reads[cache_bytes] = db.stats.sstable_blocks_read
+        assert timings[64 * 1024] < timings[0]
+        assert reads[64 * 1024] < reads[0]
+
+    def test_correctness_unchanged_with_cache(self):
+        """The cache only changes cost, never results."""
+        rng = random.Random(9)
+        operations = [
+            (key_of(rng.randrange(400)), b"v%d" % index) for index in range(3000)
+        ]
+        contents = []
+        for cache_bytes in (0, 32 * 1024):
+            db = DB(config=self._config(cache_bytes), policy=LDCPolicy())
+            model = {}
+            for key, value in operations:
+                db.put(key, value)
+                model[key] = value
+            assert dict(db.logical_items()) == model
+            for key in list(model)[:150]:
+                assert db.get(key) == model[key]
+            assert db.scan(key_of(0), 50) == sorted(model.items())[:50]
+            contents.append(dict(db.logical_items()))
+        assert contents[0] == contents[1]
+
+    def test_scan_uses_cache(self):
+        db = DB(config=self._config(128 * 1024), policy=LeveledCompaction())
+        for index in range(2000):
+            db.put(key_of(index), b"v" * 40)
+        db.policy.maybe_compact()
+        db.scan(key_of(100), 50)
+        first_misses = db.block_cache.misses
+        db.scan(key_of(100), 50)
+        # Second identical scan should add hits, not misses.
+        assert db.block_cache.misses == first_misses
+        assert db.block_cache.hits > 0

@@ -1,0 +1,101 @@
+"""Unit tests for engine configuration validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lsm.config import KIB, CostModel, LSMConfig
+
+
+class TestLSMConfig:
+    def test_defaults_valid(self):
+        config = LSMConfig()
+        assert config.fan_out == 10
+        assert config.memtable_bytes == 64 * KIB
+
+    def test_level_capacity_schedule(self):
+        """Definition 2.5: capacities grow by fan_out per level."""
+        config = LSMConfig(level1_capacity_bytes=1000, fan_out=10)
+        assert config.level_capacity_bytes(1) == 1000
+        assert config.level_capacity_bytes(2) == 10_000
+        assert config.level_capacity_bytes(3) == 100_000
+
+    def test_level_capacity_undefined_for_level0(self):
+        with pytest.raises(ConfigError):
+            LSMConfig().level_capacity_bytes(0)
+
+    def test_fan_out_must_be_at_least_two(self):
+        with pytest.raises(ConfigError):
+            LSMConfig(fan_out=1)
+
+    def test_block_larger_than_sstable_rejected(self):
+        with pytest.raises(ConfigError):
+            LSMConfig(block_bytes=128 * KIB, sstable_target_bytes=64 * KIB)
+
+    def test_l0_trigger_ordering_enforced(self):
+        with pytest.raises(ConfigError, match="triggers"):
+            LSMConfig(
+                l0_compaction_trigger=8,
+                l0_slowdown_trigger=4,
+                l0_stop_trigger=12,
+            )
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "memtable_bytes",
+            "sstable_target_bytes",
+            "block_bytes",
+            "level1_capacity_bytes",
+            "max_levels",
+            "slicelink_threshold",
+        ],
+    )
+    def test_positive_fields(self, field):
+        with pytest.raises(ConfigError):
+            LSMConfig(**{field: 0})
+
+    def test_negative_bloom_bits_rejected(self):
+        with pytest.raises(ConfigError):
+            LSMConfig(bloom_bits_per_key=-1)
+
+    def test_zero_bloom_bits_allowed(self):
+        assert LSMConfig(bloom_bits_per_key=0).bloom_bits_per_key == 0
+
+    def test_frozen_ratio_bounds(self):
+        with pytest.raises(ConfigError):
+            LSMConfig(frozen_space_limit_ratio=0.0)
+        with pytest.raises(ConfigError):
+            LSMConfig(frozen_space_limit_ratio=1.5)
+
+    def test_with_overrides_returns_validated_copy(self):
+        config = LSMConfig()
+        changed = config.with_overrides(fan_out=25)
+        assert changed.fan_out == 25
+        assert config.fan_out == 10
+        with pytest.raises(ConfigError):
+            config.with_overrides(fan_out=0)
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            LSMConfig().fan_out = 3  # type: ignore[misc]
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        model = CostModel()
+        assert model.memtable_insert_us > 0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(bloom_check_us=-0.1)
+
+    def test_zero_costs_allowed(self):
+        model = CostModel(
+            memtable_insert_us=0,
+            memtable_lookup_us=0,
+            bloom_check_us=0,
+            index_lookup_us=0,
+            merge_per_record_us=0,
+            scan_per_record_us=0,
+        )
+        assert model.merge_per_record_us == 0

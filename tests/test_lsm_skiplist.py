@@ -1,0 +1,109 @@
+"""Unit and property tests for the skip list."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lsm.skiplist import SkipList
+
+keys = st.binary(min_size=1, max_size=12)
+
+
+class TestBasics:
+    def test_empty(self):
+        sl = SkipList()
+        assert len(sl) == 0
+        assert sl.get(b"a") is None
+        assert b"a" not in sl
+        assert sl.first_key() is None
+        assert sl.last_key() is None
+        assert list(sl) == []
+
+    def test_insert_and_get(self):
+        sl = SkipList()
+        assert sl.insert(b"k", 1) is True
+        assert sl.get(b"k") == 1
+        assert b"k" in sl
+        assert len(sl) == 1
+
+    def test_overwrite_returns_false_and_keeps_size(self):
+        sl = SkipList()
+        sl.insert(b"k", 1)
+        assert sl.insert(b"k", 2) is False
+        assert sl.get(b"k") == 2
+        assert len(sl) == 1
+
+    def test_iteration_sorted(self):
+        sl = SkipList()
+        for key in [b"d", b"a", b"c", b"b"]:
+            sl.insert(key, key)
+        assert [k for k, _ in sl] == [b"a", b"b", b"c", b"d"]
+
+    def test_iter_from_seeks_correctly(self):
+        sl = SkipList()
+        for index in range(0, 20, 2):
+            sl.insert(bytes([index]), index)
+        # Seek to an absent key between entries.
+        result = [k for k, _ in sl.iter_from(bytes([7]))]
+        assert result == [bytes([i]) for i in range(8, 20, 2)]
+
+    def test_iter_from_past_end(self):
+        sl = SkipList()
+        sl.insert(b"a", 1)
+        assert list(sl.iter_from(b"z")) == []
+
+    def test_first_and_last(self):
+        sl = SkipList()
+        for key in [b"m", b"a", b"z", b"q"]:
+            sl.insert(key, None)
+        assert sl.first_key() == b"a"
+        assert sl.last_key() == b"z"
+
+    def test_deterministic_given_seed(self):
+        a, b = SkipList(seed=3), SkipList(seed=3)
+        for index in range(100):
+            a.insert(str(index).encode(), index)
+            b.insert(str(index).encode(), index)
+        assert [k for k, _ in a] == [k for k, _ in b]
+
+
+class TestProperties:
+    @given(st.dictionaries(keys, st.integers(), max_size=200))
+    @settings(max_examples=50)
+    def test_behaves_like_dict(self, mapping):
+        sl = SkipList(seed=1)
+        for key, value in mapping.items():
+            sl.insert(key, value)
+        assert len(sl) == len(mapping)
+        for key, value in mapping.items():
+            assert sl.get(key) == value
+        assert [k for k, _ in sl] == sorted(mapping)
+
+    @given(st.lists(st.tuples(keys, st.integers()), max_size=200))
+    @settings(max_examples=50)
+    def test_last_write_wins(self, pairs):
+        sl = SkipList(seed=2)
+        expected = {}
+        for key, value in pairs:
+            sl.insert(key, value)
+            expected[key] = value
+        for key, value in expected.items():
+            assert sl.get(key) == value
+
+    @given(st.sets(keys, min_size=1, max_size=100), keys)
+    @settings(max_examples=50)
+    def test_iter_from_matches_sorted_filter(self, key_set, probe):
+        sl = SkipList(seed=4)
+        for key in key_set:
+            sl.insert(key, None)
+        expected = sorted(k for k in key_set if k >= probe)
+        assert [k for k, _ in sl.iter_from(probe)] == expected
+
+    @given(st.sets(keys, min_size=2, max_size=60))
+    @settings(max_examples=30)
+    def test_absent_lookup_returns_none(self, key_set):
+        key_set = sorted(key_set)
+        absent = key_set.pop()  # removed before insertion
+        sl = SkipList(seed=5)
+        for key in key_set:
+            sl.insert(key, 1)
+        assert sl.get(absent) is None

@@ -1,0 +1,62 @@
+"""Unit tests for the write-ahead log."""
+
+import pytest
+
+from repro.lsm.record import delete_record, put_record
+from repro.lsm.wal import WriteAheadLog
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.metrics import WAL_WRITE
+from repro.ssd.profile import ENTERPRISE_PCIE
+
+
+@pytest.fixture
+def wal():
+    return WriteAheadLog(SimulatedSSD(ENTERPRISE_PCIE))
+
+
+class TestWAL:
+    def test_starts_empty(self, wal):
+        assert wal.unflushed_bytes == 0
+        assert wal.unflushed_count == 0
+        assert wal.recover() == []
+
+    def test_append_charges_device(self, wal):
+        record = put_record(b"k", b"v" * 100, 1)
+        elapsed = wal.append(record)
+        assert elapsed > 0
+        assert wal._device.stats.bytes_written(WAL_WRITE) == record.encoded_size
+
+    def test_append_is_sequential_io(self, wal):
+        """WAL appends get the sequential overhead discount."""
+        record = put_record(b"k", b"v", 1)
+        elapsed = wal.append(record)
+        random_cost = wal._device.write_cost_us(record.encoded_size)
+        assert elapsed < random_cost
+
+    def test_accumulates_records(self, wal):
+        records = [put_record(str(i).encode(), b"v", i) for i in range(5)]
+        for record in records:
+            wal.append(record)
+        assert wal.unflushed_count == 5
+        assert wal.unflushed_bytes == sum(r.encoded_size for r in records)
+        assert wal.recover() == records
+
+    def test_recover_preserves_order_and_tombstones(self, wal):
+        a = put_record(b"a", b"1", 1)
+        b = delete_record(b"a", 2)
+        wal.append(a)
+        wal.append(b)
+        assert wal.recover() == [a, b]
+
+    def test_reset_clears_state(self, wal):
+        wal.append(put_record(b"k", b"v", 1))
+        wal.reset()
+        assert wal.unflushed_count == 0
+        assert wal.unflushed_bytes == 0
+        assert wal.recover() == []
+
+    def test_recover_returns_copy(self, wal):
+        wal.append(put_record(b"k", b"v", 1))
+        recovered = wal.recover()
+        recovered.clear()
+        assert wal.unflushed_count == 1

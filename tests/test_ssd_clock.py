@@ -1,0 +1,61 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DeviceError
+from repro.ssd.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_starts_at_custom_time(self):
+        assert SimClock(start_us=42.5).now() == 42.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(DeviceError):
+            SimClock(start_us=-1.0)
+
+    def test_advance_returns_new_time(self):
+        clock = SimClock()
+        assert clock.advance(10.0) == 10.0
+        assert clock.advance(2.5) == 12.5
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock(start_us=5.0)
+        clock.advance(0.0)
+        assert clock.now() == 5.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(DeviceError):
+            clock.advance(-0.001)
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(100.0)
+        assert clock.now() == 100.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(start_us=50.0)
+        clock.advance_to(10.0)
+        assert clock.now() == 50.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=50))
+    def test_monotonicity_property(self, deltas):
+        """The clock never moves backwards under any advance sequence."""
+        clock = SimClock()
+        last = clock.now()
+        for delta in deltas:
+            clock.advance(delta)
+            assert clock.now() >= last
+            last = clock.now()
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=50))
+    def test_sum_property(self, deltas):
+        clock = SimClock()
+        for delta in deltas:
+            clock.advance(delta)
+        assert clock.now() == pytest.approx(sum(deltas), abs=1e-6)

@@ -1,0 +1,87 @@
+"""Unit tests for SSD profiles."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ssd.profile import (
+    BALANCED_FLASH,
+    ENTERPRISE_PCIE,
+    HDD,
+    PROFILES,
+    SATA_SSD,
+    SSDProfile,
+    get_profile,
+)
+
+
+class TestSSDProfile:
+    def test_us_per_byte_inverse_of_bandwidth(self):
+        profile = SSDProfile("p", 1000.0, 100.0, 10.0, 10.0)
+        # 1 MB/s == 1 byte/us, so us/byte == 1 / MBps.
+        assert profile.read_us_per_byte == pytest.approx(0.001)
+        assert profile.write_us_per_byte == pytest.approx(0.01)
+
+    def test_asymmetry_ratio(self):
+        profile = SSDProfile("p", 2000.0, 250.0, 10.0, 10.0)
+        assert profile.asymmetry == pytest.approx(8.0)
+
+    def test_enterprise_profile_is_read_fast(self):
+        """The paper's premise: SSD writes are much slower than reads."""
+        assert ENTERPRISE_PCIE.asymmetry > 1.0
+
+    def test_balanced_profile_is_symmetric(self):
+        assert BALANCED_FLASH.asymmetry == pytest.approx(1.0)
+
+    def test_hdd_has_dominant_seek_cost(self):
+        assert HDD.read_overhead_us > ENTERPRISE_PCIE.read_overhead_us * 10
+
+    @pytest.mark.parametrize("field", ["read_bandwidth_mbps", "write_bandwidth_mbps"])
+    def test_nonpositive_bandwidth_rejected(self, field):
+        kwargs = dict(
+            name="bad",
+            read_bandwidth_mbps=100.0,
+            write_bandwidth_mbps=100.0,
+            read_overhead_us=1.0,
+            write_overhead_us=1.0,
+        )
+        kwargs[field] = 0.0
+        with pytest.raises(ConfigError):
+            SSDProfile(**kwargs)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ConfigError):
+            SSDProfile("bad", 100.0, 100.0, -1.0, 1.0)
+
+    def test_bad_sequential_discount_rejected(self):
+        with pytest.raises(ConfigError):
+            SSDProfile("bad", 100.0, 100.0, 1.0, 1.0, sequential_discount=0.0)
+        with pytest.raises(ConfigError):
+            SSDProfile("bad", 100.0, 100.0, 1.0, 1.0, sequential_discount=1.5)
+
+    def test_scaled_changes_only_write_bandwidth(self):
+        scaled = ENTERPRISE_PCIE.scaled(write_bandwidth_mbps=500.0)
+        assert scaled.write_bandwidth_mbps == 500.0
+        assert scaled.read_bandwidth_mbps == ENTERPRISE_PCIE.read_bandwidth_mbps
+        assert scaled.read_overhead_us == ENTERPRISE_PCIE.read_overhead_us
+        assert scaled.name != ENTERPRISE_PCIE.name
+
+    def test_profile_is_frozen(self):
+        with pytest.raises(Exception):
+            ENTERPRISE_PCIE.read_bandwidth_mbps = 1.0  # type: ignore[misc]
+
+
+class TestRegistry:
+    def test_get_profile_by_name(self):
+        assert get_profile("sata-ssd") is SATA_SSD
+
+    def test_unknown_profile_raises_with_known_names(self):
+        with pytest.raises(ConfigError, match="enterprise-pcie"):
+            get_profile("floppy-disk")
+
+    def test_registry_contains_all_builtins(self):
+        assert set(PROFILES) == {
+            "enterprise-pcie",
+            "sata-ssd",
+            "balanced-flash",
+            "hdd",
+        }

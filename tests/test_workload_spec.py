@@ -1,0 +1,124 @@
+"""Unit tests for workload specifications (the paper's Table III)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.spec import (
+    PAPER_KEY_BYTES,
+    PAPER_SCAN_LENGTH,
+    PAPER_VALUE_BYTES,
+    TABLE_III,
+    WorkloadSpec,
+    rh,
+    ro,
+    rwb,
+    scn_rh,
+    scn_rwb,
+    scn_wh,
+    wh,
+    wo,
+)
+
+
+class TestTableIII:
+    """The eight workloads must match the paper's Table III exactly."""
+
+    @pytest.mark.parametrize(
+        "factory,name,write_ratio,query_type",
+        [
+            (wo, "WO", 1.0, "get"),
+            (wh, "WH", 0.7, "get"),
+            (rwb, "RWB", 0.5, "get"),
+            (rh, "RH", 0.3, "get"),
+            (ro, "RO", 0.0, "get"),
+            (scn_wh, "SCN-WH", 0.7, "scan"),
+            (scn_rwb, "SCN-RWB", 0.5, "scan"),
+            (scn_rh, "SCN-RH", 0.3, "scan"),
+        ],
+    )
+    def test_mix_definitions(self, factory, name, write_ratio, query_type):
+        spec = factory()
+        assert spec.name == name
+        assert spec.write_ratio == pytest.approx(write_ratio)
+        assert spec.query_type == query_type
+
+    def test_paper_sizing_defaults(self):
+        """§IV-A: 16-B keys, 1-KB values, SCAN covers 100 pairs."""
+        spec = rwb()
+        assert spec.key_bytes == PAPER_KEY_BYTES == 16
+        assert spec.value_bytes == PAPER_VALUE_BYTES == 1024
+        assert scn_rwb().scan_length == PAPER_SCAN_LENGTH == 100
+
+    def test_uniform_is_default(self):
+        assert rwb().distribution == "uniform"
+
+    def test_registry_complete(self):
+        assert set(TABLE_III) == {
+            "WO", "WH", "RWB", "RH", "RO", "SCN-WH", "SCN-RWB", "SCN-RH",
+        }
+
+    def test_read_bearing_workloads_preload(self):
+        assert wo().preload_keys == 0
+        assert rwb().preload_keys > 0
+        assert ro().preload_keys > 0
+
+    def test_overrides(self):
+        spec = rwb(num_operations=5, key_space=7, seed=9)
+        assert spec.num_operations == 5
+        assert spec.key_space == 7
+        assert spec.seed == 9
+
+
+class TestValidation:
+    def test_bad_write_ratio(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="x", num_operations=1, write_ratio=1.5)
+
+    def test_bad_query_type(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="x", num_operations=1, write_ratio=0.5, query_type="join")
+
+    def test_bad_distribution(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(
+                name="x", num_operations=1, write_ratio=0.5, distribution="gaussian"
+            )
+
+    def test_zero_operations(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="x", num_operations=0, write_ratio=0.5)
+
+    def test_bad_zipf_constant(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(
+                name="x",
+                num_operations=1,
+                write_ratio=0.5,
+                distribution="zipf",
+                zipf_constant=0.0,
+            )
+
+    def test_key_bytes_minimum(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="x", num_operations=1, write_ratio=0.5, key_bytes=4)
+
+
+class TestScaling:
+    def test_scaled_grows_everything(self):
+        spec = rwb(num_operations=100, key_space=50, preload_keys=50)
+        doubled = spec.scaled(2.0)
+        assert doubled.num_operations == 200
+        assert doubled.key_space == 100
+        assert doubled.preload_keys == 100
+
+    def test_scaled_down(self):
+        spec = rwb(num_operations=100, key_space=50)
+        half = spec.scaled(0.5)
+        assert half.num_operations == 50
+
+    def test_bad_factor(self):
+        with pytest.raises(WorkloadError):
+            rwb().scaled(0.0)
+
+    def test_read_ratio_complement(self):
+        assert wh().read_ratio == pytest.approx(0.3)
