@@ -13,7 +13,13 @@ The library provides:
   paper's Table III workloads;
 * :mod:`repro.model` — the analytical performance model of §II–III;
 * :mod:`repro.harness` — virtual-time measurement (latency percentiles,
-  throughput, compaction I/O) and per-figure experiment entry points.
+  throughput, compaction I/O) and per-figure experiment entry points;
+* :mod:`repro.obs` — the observability layer: structured event tracing
+  (:class:`~repro.obs.tracer.Tracer` with ring-buffer and JSON-lines
+  sinks), the metrics registry behind every counter, frozen diffable
+  :class:`~repro.obs.snapshot.MetricsSnapshot`\\ s from ``db.metrics()``,
+  and streaming log-bucketed
+  :class:`~repro.obs.histogram.LatencyHistogram`\\ s.
 
 Quickstart
 ----------
@@ -42,6 +48,15 @@ from .lsm import (
     LeveledCompaction,
     LSMConfig,
     TieredCompaction,
+)
+from .obs import (
+    JsonLinesSink,
+    LatencyHistogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    RingBufferSink,
+    TraceEvent,
+    Tracer,
 )
 from .ssd import (
     BALANCED_FLASH,
@@ -76,6 +91,13 @@ __all__ = [
     "SATA_SSD",
     "BALANCED_FLASH",
     "HDD",
+    "Tracer",
+    "TraceEvent",
+    "RingBufferSink",
+    "JsonLinesSink",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "LatencyHistogram",
     "ReproError",
     "ConfigError",
     "DeviceError",

@@ -6,10 +6,13 @@ Usage::
     python -m repro fig08 --ops 60000          # reproduce one figure
     python -m repro fig12be --ops 30000 --keys 10000
     python -m repro describe                   # quick engine demo + describe()
+    python -m repro trace WO --policy ldc --trace-out run.jsonl
 
 The heavy lifting lives in :mod:`repro.harness.experiments`; this module
 maps experiment names to those entry points and prints their results as
-tables.
+tables.  The ``trace`` subcommand runs one Table III workload with the
+observability layer's event tracer attached and writes the full engine
+timeline (flushes, compaction rounds, links/merges, stalls) as JSON-lines.
 """
 
 from __future__ import annotations
@@ -20,6 +23,16 @@ from typing import Callable, Dict, List, Optional
 
 from .harness import experiments
 from .harness.report import format_table, mib
+from .obs import (
+    EV_CACHE_HIT,
+    EV_CACHE_MISS,
+    EV_DEVICE_READ,
+    EV_DEVICE_WRITE,
+    JsonLinesSink,
+    RingBufferSink,
+    Tracer,
+    summarize_events,
+)
 
 
 def _print_output(output: experiments.ExperimentOutput) -> None:
@@ -117,6 +130,82 @@ def _run_describe(ops: int, keys: int) -> None:
     print(db.describe())
 
 
+#: Policy factories available to ``repro trace --policy``.
+TRACE_POLICIES: Dict[str, Callable[[], object]] = {
+    "udc": experiments.udc_factory,
+    "ldc": experiments.LDCPolicy,
+    "tiered": experiments.tiered_factory,
+    "delayed": experiments.delayed_factory,
+}
+
+#: Per-I/O events are dropped from the trace by default — a traced run
+#: emits hundreds of device/cache events per compaction round, and the
+#: compaction timeline is what ``repro trace`` exists to show.
+_NOISY_KINDS = (EV_DEVICE_READ, EV_DEVICE_WRITE, EV_CACHE_HIT, EV_CACHE_MISS)
+
+
+def run_trace(
+    workload: str,
+    policy: str,
+    ops: int,
+    keys: int,
+    trace_out: Optional[str] = None,
+    include_io: bool = False,
+) -> int:
+    """Run one Table III workload with the event tracer attached.
+
+    Prints the per-kind event counts plus metrics-snapshot highlights;
+    with ``trace_out`` the full timeline is also written as JSON-lines.
+    """
+    from .workload.spec import TABLE_III
+
+    spec_factory = TABLE_III.get(workload)
+    if spec_factory is None:
+        known = ", ".join(TABLE_III)
+        print(f"unknown workload {workload!r}; known: {known}", file=sys.stderr)
+        return 2
+    policy_factory = TRACE_POLICIES.get(policy)
+    if policy_factory is None:
+        known = ", ".join(TRACE_POLICIES)
+        print(f"unknown policy {policy!r}; known: {known}", file=sys.stderr)
+        return 2
+
+    spec = spec_factory(num_operations=ops, key_space=keys, preload_keys=keys)
+    kinds = None
+    if not include_io:
+        from .obs import ALL_EVENT_KINDS
+
+        kinds = [k for k in ALL_EVENT_KINDS if k not in _NOISY_KINDS]
+    ring = RingBufferSink()
+    tracer = Tracer([ring], kinds=kinds)
+    if trace_out is not None:
+        tracer.add_sink(JsonLinesSink(trace_out))
+    try:
+        result = experiments.run_workload(
+            spec, policy_factory, config=experiments.experiment_config(),
+            tracer=tracer,
+        )
+    finally:
+        tracer.close()
+
+    print(f"trace: workload={spec.name} policy={result.policy} ops={result.operations}")
+    counts = summarize_events(ring.events)
+    rows = [(kind, count) for kind, count in counts.items()]
+    print(format_table(["event", "count"], rows, title="event counts"))
+    snap = result.metrics
+    if snap is not None:
+        highlights = [
+            ("throughput ops/s", round(result.throughput_ops_s)),
+            ("write amplification", round(snap.write_amplification, 2)),
+            ("compaction MiB", round(mib(snap.compaction_bytes_total), 1)),
+            ("cache hit ratio", round(snap.cache_hit_ratio, 3)),
+        ]
+        print(format_table(["metric", "value"], highlights, title="highlights"))
+    if trace_out is not None:
+        print(f"full timeline written to {trace_out}")
+    return 0
+
+
 EXPERIMENTS: Dict[str, Callable[[int, int], None]] = {
     "fig01": _run_fig01,
     "tab1": _run_tab1,
@@ -148,10 +237,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, or 'list' to enumerate",
+        help="experiment name, 'trace' to trace one workload, or 'list'",
+    )
+    parser.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="Table III workload name (trace subcommand only), e.g. WO or RWB",
     )
     parser.add_argument("--ops", type=int, default=20_000, help="measured operations")
     parser.add_argument("--keys", type=int, default=8_000, help="key-space size")
+    parser.add_argument(
+        "--policy",
+        default="ldc",
+        help="compaction policy for 'trace': udc, ldc, tiered or delayed",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the full event timeline as JSON-lines to PATH ('trace' only)",
+    )
+    parser.add_argument(
+        "--include-io",
+        action="store_true",
+        help="also trace per-I/O device and cache events (verbose)",
+    )
     return parser
 
 
@@ -161,7 +272,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
+        print("trace")
         return 0
+    if args.experiment == "trace":
+        if args.workload is None:
+            print("trace requires a workload name, e.g. `repro trace WO`",
+                  file=sys.stderr)
+            return 2
+        return run_trace(
+            args.workload,
+            args.policy,
+            args.ops,
+            args.keys,
+            trace_out=args.trace_out,
+            include_io=args.include_io,
+        )
     runner = EXPERIMENTS.get(args.experiment)
     if runner is None:
         known = ", ".join(EXPERIMENTS)

@@ -36,6 +36,7 @@ from ..errors import CompactionError
 from ..lsm.compaction.base import CompactionPolicy, guard_rounds
 from ..lsm.keys import key_successor
 from ..lsm.sstable import SSTable
+from ..obs.events import EV_LINK, EV_MERGE, EV_TRIVIAL_MOVE
 from ..ssd.metrics import COMPACTION_READ
 
 
@@ -197,7 +198,8 @@ class LDCPolicy(CompactionPolicy):
         victim = max(
             self._linked_tables.values(), key=lambda table: table.linked_bytes
         )
-        db.stats.forced_merges += 1
+        db.engine_stats.forced_merges += 1
+        self.bump("forced_merges")
         self.merge(victim)
         return True
 
@@ -266,7 +268,12 @@ class LDCPolicy(CompactionPolicy):
         if level != 0 or self._alone_in_level0(source):
             version.remove_file(level, source)
             version.add_file(level + 1, source)
-            db.stats.trivial_moves += 1
+            db.engine_stats.trivial_moves += 1
+            self.bump("trivial_moves")
+            db.tracer.emit(
+                EV_TRIVIAL_MOVE, policy=self.name, file_id=source.file_id,
+                from_level=level, to_level=level + 1,
+            )
             return False
         inputs = self._expanded_level0_set(source)
         drop = self.can_drop_tombstones(level + 1)
@@ -275,7 +282,8 @@ class LDCPolicy(CompactionPolicy):
             version.remove_file(0, table)
         for table in outputs:
             version.add_file(1, table)
-        db.stats.compaction_count += 1
+        db.engine_stats.compaction_count += 1
+        self.bump("bootstrap_compactions")
         return True
 
     def _alone_in_level0(self, table: SSTable) -> bool:
@@ -326,7 +334,19 @@ class LDCPolicy(CompactionPolicy):
             self._linked_tables[target.file_id] = target
             if self.due_for_merge(target):
                 self._due[target.file_id] = target
-        db.stats.link_count += 1
+        db.engine_stats.link_count += 1
+        self.bump("links")
+        self.bump("slices_created", len(plan))
+        self.set_metric_gauge("threshold", self.threshold)
+        self.set_metric_gauge("frozen_space_bytes", self.frozen.space_bytes)
+        db.tracer.emit(
+            EV_LINK,
+            source_file=source.file_id,
+            from_level=level,
+            to_level=level + 1,
+            slices=len(plan),
+            frozen_bytes=source.data_size,
+        )
         # Algorithm 1 lines 8-9 trigger the merge of any target now at the
         # threshold; the main loop's first priority performs it on the next
         # round, which is equivalent and keeps "one I/O unit per round".
@@ -388,8 +408,20 @@ class LDCPolicy(CompactionPolicy):
             version.add_file(level, table)
         for piece in slices:
             self.frozen.release(piece.source)
-        db.stats.merge_count += 1
-        db.stats.compaction_count += 1
+        db.engine_stats.merge_count += 1
+        db.engine_stats.compaction_count += 1
+        self.bump("merges")
+        self.bump("slices_merged", len(slices))
+        self.set_metric_gauge("threshold", self.threshold)
+        self.set_metric_gauge("frozen_space_bytes", self.frozen.space_bytes)
+        db.tracer.emit(
+            EV_MERGE,
+            target_file=target.file_id,
+            level=level,
+            slices=len(slices),
+            outputs=len(outputs),
+            target_bytes=target.data_size,
+        )
 
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:

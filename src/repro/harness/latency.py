@@ -4,6 +4,13 @@ Collects per-operation latencies (microseconds of virtual time) and
 computes exact percentiles — the paper reports P90 through P99.99
 (Fig. 8) — plus the per-interval average-latency timeline behind Fig. 1's
 fluctuation plot.
+
+Each :class:`LatencyRecorder` also feeds a streaming
+:class:`~repro.obs.histogram.LatencyHistogram` (the observability layer's
+log-bucketed percentile path): paper figures keep the exact sorted-sample
+percentiles, while ``recorder.histogram`` answers the same queries in O(1)
+memory for production-scale runs where storing every sample is off the
+table.
 """
 
 from __future__ import annotations
@@ -14,23 +21,31 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import ReproError
+from ..obs.histogram import LatencyHistogram
 
 #: The percentiles of the paper's Fig. 8.
 PAPER_PERCENTILES = (90.0, 99.0, 99.9, 99.99)
 
 
 class LatencyRecorder:
-    """Accumulates latencies and answers percentile/mean queries."""
+    """Accumulates latencies and answers percentile/mean queries.
+
+    Exact percentiles come from the stored samples; the parallel
+    :attr:`histogram` provides the streaming (bounded-memory) estimates.
+    """
 
     def __init__(self) -> None:
         self._values: List[float] = []
         self._sorted: Optional[np.ndarray] = None
+        #: Streaming log-bucketed view of the same samples.
+        self.histogram = LatencyHistogram()
 
     def record(self, latency_us: float) -> None:
         if latency_us < 0:
             raise ReproError(f"negative latency {latency_us!r}")
         self._values.append(latency_us)
         self._sorted = None
+        self.histogram.record(latency_us)
 
     def __len__(self) -> int:
         return len(self._values)
@@ -54,6 +69,12 @@ class LatencyRecorder:
         self, pcts: Sequence[float] = PAPER_PERCENTILES
     ) -> Dict[float, float]:
         return {pct: self.percentile(pct) for pct in pcts}
+
+    def streaming_percentiles(
+        self, pcts: Sequence[float] = PAPER_PERCENTILES
+    ) -> Dict[float, float]:
+        """Histogram-estimated percentiles (within one bucket of exact)."""
+        return self.histogram.percentiles(pcts)
 
     def mean(self) -> float:
         if not self._values:

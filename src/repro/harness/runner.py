@@ -21,6 +21,8 @@ from .latency import LatencyRecorder, LatencyTimeline
 from ..errors import WorkloadError
 from ..lsm.config import LSMConfig
 from ..lsm.db import DB
+from ..obs.snapshot import MetricsSnapshot
+from ..obs.tracer import Tracer
 from ..ssd.profile import ENTERPRISE_PCIE, SSDProfile
 from ..workload.spec import WorkloadSpec
 from ..workload.ycsb import (
@@ -68,6 +70,9 @@ class RunResult:
     bloom_negative_skips: int
     activity_share: Dict[str, float] = field(default_factory=dict)
     final_threshold: Optional[int] = None
+    #: Unified metrics snapshot taken when the run finished (counters cover
+    #: the measured window since the post-load reset).
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def throughput_ops_s(self) -> float:
@@ -102,6 +107,7 @@ def build_db(
     config: Optional[LSMConfig] = None,
     profile: SSDProfile = ENTERPRISE_PCIE,
     seed: int = 0,
+    tracer: Optional[Tracer] = None,
 ) -> DB:
     """Construct a fresh DB for one measured run."""
     return DB(
@@ -109,6 +115,7 @@ def build_db(
         policy=policy_factory(),
         profile=profile,
         seed=seed,
+        tracer=tracer,
     )
 
 
@@ -119,15 +126,19 @@ def run_workload(
     profile: SSDProfile = ENTERPRISE_PCIE,
     timeline_bucket_us: float = 1_000_000.0,
     db: Optional[DB] = None,
+    tracer: Optional[Tracer] = None,
 ) -> RunResult:
     """Run one workload against one policy and measure it.
 
     Pass ``db`` to reuse a pre-built (e.g. pre-loaded) database; otherwise
-    a fresh one is created and loaded per the spec.
+    a fresh one is created and loaded per the spec.  Pass ``tracer`` (with
+    sinks attached) to record the run's full event timeline; the load
+    phase is traced too, separated from the measured phase by the
+    measurement reset.
     """
     generator = WorkloadGenerator(spec)
     if db is None:
-        db = build_db(policy_factory, config=config, profile=profile)
+        db = build_db(policy_factory, config=config, profile=profile, tracer=tracer)
         for operation in generator.preload_operations():
             db.put(operation.key, operation.value)
         db.policy.maybe_compact()
@@ -187,21 +198,22 @@ def run_workload(
         compaction_write_bytes=device_stats.compaction_bytes_written,
         total_read_bytes=device_stats.total_bytes_read,
         total_write_bytes=device_stats.total_bytes_written,
-        user_bytes_written=db.stats.user_bytes_written,
+        user_bytes_written=db.engine_stats.user_bytes_written,
         write_amplification=db.write_amplification(),
         space_bytes=live + extra,
         live_bytes=live,
         extra_space_bytes=extra,
-        flush_count=db.stats.flush_count,
-        compaction_count=db.stats.compaction_count,
-        link_count=db.stats.link_count,
-        merge_count=db.stats.merge_count,
-        trivial_moves=db.stats.trivial_moves,
-        stall_events=db.stats.stall_events,
-        sstable_blocks_read=db.stats.sstable_blocks_read,
-        bloom_negative_skips=db.stats.bloom_negative_skips,
-        activity_share=db.stats.activity_share(),
+        flush_count=db.engine_stats.flush_count,
+        compaction_count=db.engine_stats.compaction_count,
+        link_count=db.engine_stats.link_count,
+        merge_count=db.engine_stats.merge_count,
+        trivial_moves=db.engine_stats.trivial_moves,
+        stall_events=db.engine_stats.stall_events,
+        sstable_blocks_read=db.engine_stats.sstable_blocks_read,
+        bloom_negative_skips=db.engine_stats.bloom_negative_skips,
+        activity_share=db.engine_stats.activity_share(),
         final_threshold=final_threshold if isinstance(final_threshold, int) else None,
+        metrics=db.metrics(),
     )
 
 

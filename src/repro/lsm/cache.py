@@ -15,33 +15,59 @@ of the LRU rather than eagerly invalidating.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..errors import ConfigError
+from ..obs.registry import MetricsRegistry
 
 _BlockKey = Tuple[int, int]
 
 
 class BlockCache:
-    """A byte-capacity-bounded LRU over data blocks."""
+    """A byte-capacity-bounded LRU over data blocks.
 
-    def __init__(self, capacity_bytes: int) -> None:
+    Hit/miss counts live in the metrics registry (``cache.hits`` /
+    ``cache.misses``) so they appear in ``db.metrics()`` and zero with
+    ``db.reset_measurements()``; a private registry is created when none
+    is shared in.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if capacity_bytes <= 0:
             raise ConfigError("block cache capacity must be positive")
         self.capacity_bytes = capacity_bytes
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._entries: "OrderedDict[_BlockKey, int]" = OrderedDict()
         self._used_bytes = 0
-        self.hits = 0
-        self.misses = 0
+
+    @property
+    def hits(self) -> int:
+        return int(self.registry.counter("cache.hits"))
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self.registry.set_counter("cache.hits", int(value))
+
+    @property
+    def misses(self) -> int:
+        return int(self.registry.counter("cache.misses"))
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self.registry.set_counter("cache.misses", int(value))
 
     def lookup(self, file_id: int, block_index: int) -> bool:
         """True (and refresh recency) if the block is resident."""
         key = (file_id, block_index)
         if key in self._entries:
             self._entries.move_to_end(key)
-            self.hits += 1
+            self.registry.add("cache.hits")
             return True
-        self.misses += 1
+        self.registry.add("cache.misses")
         return False
 
     def insert(self, file_id: int, block_index: int, nbytes: int) -> None:

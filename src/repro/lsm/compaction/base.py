@@ -26,6 +26,7 @@ from ..iterators import merge_records
 from ..record import KVRecord, newest_wins
 from ..sstable import SSTable
 from ...errors import CompactionError
+from ...obs.events import EV_COMPACTION_ROUND
 from ...ssd.metrics import COMPACTION_READ, COMPACTION_WRITE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -82,13 +83,29 @@ class CompactionPolicy(ABC):
         The per-round byte distribution is the *granularity* metric of the
         paper's equation (3): UDC rounds move O(fan_out) files, LDC rounds
         O(1).
+
+        Every I/O-bearing round also emits one ``compaction_round`` trace
+        event carrying the exact per-round read/write byte deltas, so the
+        events of a trace sum to the device's ``compaction_read`` +
+        ``compaction_write`` category totals.
         """
-        device = self._db.device
-        before = device.stats.compaction_bytes_total
+        db = self._db
+        stats = db.device.stats
+        read_before = stats.compaction_bytes_read
+        write_before = stats.compaction_bytes_written
+        start = db.clock.now()
         did_work = self.compact_one()
-        delta = device.stats.compaction_bytes_total - before
-        if delta > 0:
-            self._db.stats.record_round(delta)
+        bytes_read = stats.compaction_bytes_read - read_before
+        bytes_written = stats.compaction_bytes_written - write_before
+        if bytes_read + bytes_written > 0:
+            db.engine_stats.record_round(bytes_read + bytes_written)
+            db.tracer.emit(
+                EV_COMPACTION_ROUND,
+                policy=self.name,
+                bytes_read=bytes_read,
+                bytes_written=bytes_written,
+                duration_us=db.clock.now() - start,
+            )
         return did_work
 
     def maybe_compact(self) -> None:
@@ -112,6 +129,22 @@ class CompactionPolicy(ABC):
     def extra_space_bytes(self) -> int:
         """Policy-held space outside the tree (LDC's frozen region)."""
         return 0
+
+    # ------------------------------------------------------------------
+    # Policy metrics
+    # ------------------------------------------------------------------
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment the policy counter ``policy.<name>.<counter>``.
+
+        Policy-internal measurements recorded this way show up in
+        ``db.metrics()`` and are zeroed by ``db.reset_measurements()``
+        like every other counter — the uniform-reset guarantee.
+        """
+        self._db.registry.add(f"policy.{self.name}.{name}", amount)
+
+    def set_metric_gauge(self, name: str, value: float) -> None:
+        """Record the live value of gauge ``policy.<name>.<gauge>``."""
+        self._db.registry.set_gauge(f"policy.{self.name}.{name}", value)
 
     # ------------------------------------------------------------------
     # Shared mechanics

@@ -78,7 +78,8 @@ class DelayedCompaction(CompactionPolicy):
         if not overlaps and len(inputs) == 1:
             version.remove_file(level, inputs[0])
             version.add_file(level + 1, inputs[0])
-            db.stats.trivial_moves += 1
+            db.engine_stats.trivial_moves += 1
+            self.bump("trivial_moves")
             return
         drop = self.can_drop_tombstones(level + 1)
         outputs = self.merge_tables([*inputs, *overlaps], drop_deletes=drop)
@@ -88,4 +89,6 @@ class DelayedCompaction(CompactionPolicy):
             version.remove_file(level + 1, table)
         for table in outputs:
             version.add_file(level + 1, table)
-        db.stats.compaction_count += 1
+        db.engine_stats.compaction_count += 1
+        self.bump("batched_rounds")
+        self.bump("batched_input_files", len(inputs) + len(overlaps))

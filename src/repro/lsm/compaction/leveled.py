@@ -15,6 +15,7 @@ from typing import List
 from .base import CompactionPolicy
 from ..keys import key_successor
 from ..sstable import SSTable
+from ...obs.events import EV_TRIVIAL_MOVE
 
 
 class LeveledCompaction(CompactionPolicy):
@@ -52,6 +53,7 @@ class LeveledCompaction(CompactionPolicy):
             level = version.level_of(table)
             if level >= version.num_levels - 1:
                 continue  # nothing below to merge into
+            self.bump("seek_compactions")
             self._compact_once(level, seed=table)
             return True
         return False
@@ -74,7 +76,12 @@ class LeveledCompaction(CompactionPolicy):
             # file.  No I/O is performed.
             version.remove_file(level, seed)
             version.add_file(level + 1, seed)
-            db.stats.trivial_moves += 1
+            db.engine_stats.trivial_moves += 1
+            self.bump("trivial_moves")
+            db.tracer.emit(
+                EV_TRIVIAL_MOVE, policy=self.name, file_id=seed.file_id,
+                from_level=level, to_level=level + 1,
+            )
             return
 
         drop = self.can_drop_tombstones(level + 1)
@@ -85,7 +92,9 @@ class LeveledCompaction(CompactionPolicy):
             version.remove_file(level + 1, table)
         for table in outputs:
             version.add_file(level + 1, table)
-        db.stats.compaction_count += 1
+        db.engine_stats.compaction_count += 1
+        self.bump("compactions")
+        self.bump("input_files", len(inputs) + len(overlaps))
 
     def _expand_level0(self, level: int, seed: SSTable) -> List[SSTable]:
         """Grow a Level-0 input set to all transitively overlapping files.

@@ -78,4 +78,6 @@ class TieredCompaction(CompactionPolicy):
             version.add_file(target, table)
         if outputs:
             self._runs.setdefault(target, []).append(list(outputs))
-        db.stats.compaction_count += 1
+        db.engine_stats.compaction_count += 1
+        self.bump("level_merges")
+        self.bump("runs_merged", len(runs))

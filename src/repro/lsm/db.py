@@ -22,6 +22,7 @@ files' Bloom filters) before the file (§III-B.3).
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterator, List, Optional, Tuple
 
 from .builder import SSTableBuilder
@@ -44,6 +45,15 @@ from .stats import (
 from .version import VersionSet
 from .wal import WriteAheadLog
 from ..errors import ClosedError, EngineError
+from ..obs.events import (
+    EV_CACHE_HIT,
+    EV_CACHE_MISS,
+    EV_FLUSH,
+    EV_STALL,
+)
+from ..obs.registry import MetricsRegistry
+from ..obs.snapshot import MetricsSnapshot
+from ..obs.tracer import Tracer
 from ..ssd.device import SimulatedSSD
 from ..ssd.metrics import FLUSH_WRITE, USER_READ, USER_SCAN
 from ..ssd.profile import ENTERPRISE_PCIE, SSDProfile
@@ -65,6 +75,11 @@ class DB:
         profile mirroring the paper's testbed.
     seed:
         Seed for the memtable skip list's height RNG.
+    tracer:
+        Event tracer receiving the engine's execution timeline (flushes,
+        compaction rounds, links/merges, stalls, cache probes, device
+        I/O).  Defaults to an inert tracer; attach a sink — or pass
+        ``Tracer([RingBufferSink()])`` — to start recording.
 
     Example
     -------
@@ -81,21 +96,28 @@ class DB:
         policy: Optional[object] = None,
         profile: SSDProfile = ENTERPRISE_PCIE,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         from .compaction.leveled import LeveledCompaction  # default policy
 
         self.config = config if config is not None else LSMConfig()
         self.policy = policy if policy is not None else LeveledCompaction()
         sorted_levels = getattr(self.policy, "requires_sorted_levels", True)
-        self.device = SimulatedSSD(profile)
+        self.registry = MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.device = SimulatedSSD(
+            profile, registry=self.registry, tracer=self.tracer
+        )
         self.clock = self.device.clock
+        if self.tracer.clock is None:
+            self.tracer.clock = self.clock
         self.version = VersionSet(self.config, sorted_levels=sorted_levels)
-        self.stats = EngineStats()
+        self.engine_stats = EngineStats(registry=self.registry)
         self._seed = seed
         self._memtable = MemTable(seed=seed)
         self._wal = WriteAheadLog(self.device) if self.config.wal_enabled else None
         self.block_cache = (
-            BlockCache(self.config.block_cache_bytes)
+            BlockCache(self.config.block_cache_bytes, registry=self.registry)
             if self.config.block_cache_bytes > 0
             else None
         )
@@ -116,6 +138,34 @@ class DB:
         seq = self._next_seq
         self._next_seq += 1
         return seq
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricsSnapshot:
+        """Capture every metric as one frozen, diffable snapshot.
+
+        The unified observability entry point: engine counters, device I/O
+        categories, block-cache hit ratio and policy counters in one
+        immutable object.  ``later.delta(earlier)`` isolates what happened
+        between two captures without resetting anything.
+        """
+        return MetricsSnapshot.capture(self.registry, t_us=self.clock.now())
+
+    @property
+    def stats(self) -> EngineStats:
+        """Deprecated alias for :attr:`engine_stats`.
+
+        Prefer :meth:`metrics` for measurements or :attr:`engine_stats`
+        for the live engine-counter view.
+        """
+        warnings.warn(
+            "DB.stats is deprecated; use DB.metrics() for a unified "
+            "snapshot or DB.engine_stats for the live view",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.engine_stats
 
     # ------------------------------------------------------------------
     # Write path
@@ -161,17 +211,17 @@ class DB:
         if self._wal is not None:
             total = sum(record.encoded_size for record in records)
             elapsed = self._wal.append_batch(records, total)
-            self.stats.charge_activity(ACT_WAL, elapsed)
+            self.engine_stats.charge_activity(ACT_WAL, elapsed)
         start = self.clock.now()
         for record in records:
             self._memtable.add(record)
             self.clock.advance(self.config.costs.memtable_insert_us)
             if record.is_tombstone:
-                self.stats.deletes += 1
+                self.engine_stats.deletes += 1
             else:
-                self.stats.puts += 1
-            self.stats.user_bytes_written += record.encoded_size
-        self.stats.charge_activity(ACT_WRITE, self.clock.now() - start)
+                self.engine_stats.puts += 1
+            self.engine_stats.user_bytes_written += record.encoded_size
+        self.engine_stats.charge_activity(ACT_WRITE, self.clock.now() - start)
         if self._memtable.approximate_bytes >= self.config.memtable_bytes:
             self.flush()
         self._maintenance_step()
@@ -181,16 +231,16 @@ class DB:
         self._maybe_stall()
         if self._wal is not None:
             elapsed = self._wal.append(record)
-            self.stats.charge_activity(ACT_WAL, elapsed)
+            self.engine_stats.charge_activity(ACT_WAL, elapsed)
         start = self.clock.now()
         self._memtable.add(record)
         self.clock.advance(self.config.costs.memtable_insert_us)
         if record.is_tombstone:
-            self.stats.deletes += 1
+            self.engine_stats.deletes += 1
         else:
-            self.stats.puts += 1
-        self.stats.user_bytes_written += record.encoded_size
-        self.stats.charge_activity(ACT_WRITE, self.clock.now() - start)
+            self.engine_stats.puts += 1
+        self.engine_stats.user_bytes_written += record.encoded_size
+        self.engine_stats.charge_activity(ACT_WRITE, self.clock.now() - start)
         if self._memtable.approximate_bytes >= self.config.memtable_bytes:
             self.flush()
         self._maintenance_step()
@@ -206,14 +256,23 @@ class DB:
         if level0 >= self.config.l0_stop_trigger:
             start = self.clock.now()
             self._run_compactions()
-            self.stats.stall_events += 1
-            self.stats.stall_time_us += self.clock.now() - start
+            duration = self.clock.now() - start
+            self.engine_stats.stall_events += 1
+            self.engine_stats.stall_time_us += duration
+            self.tracer.emit(
+                EV_STALL, reason="l0_stop", level0_files=level0,
+                duration_us=duration,
+            )
         elif level0 >= self.config.l0_slowdown_trigger:
             self.clock.advance(self.config.l0_slowdown_delay_us)
-            self.stats.stall_events += 1
-            self.stats.stall_time_us += self.config.l0_slowdown_delay_us
-            self.stats.charge_activity(
+            self.engine_stats.stall_events += 1
+            self.engine_stats.stall_time_us += self.config.l0_slowdown_delay_us
+            self.engine_stats.charge_activity(
                 ACT_WRITE, self.config.l0_slowdown_delay_us
+            )
+            self.tracer.emit(
+                EV_STALL, reason="l0_slowdown", level0_files=level0,
+                duration_us=self.config.l0_slowdown_delay_us,
             )
 
     def flush(self) -> None:
@@ -225,14 +284,22 @@ class DB:
         builder = SSTableBuilder(self.config, self.next_file_id)
         builder.add_all(iter(self._memtable))
         outputs = builder.finish()
+        flushed_bytes = 0
         for table in outputs:
             self.device.write(table.data_size, FLUSH_WRITE, sequential=True)
             self.version.add_file(0, table)
+            flushed_bytes += table.data_size
         self._memtable = MemTable(seed=self._seed)
         if self._wal is not None:
             self._wal.reset()
-        self.stats.flush_count += 1
-        self.stats.charge_activity(ACT_FLUSH, self.clock.now() - start)
+        self.engine_stats.flush_count += 1
+        self.engine_stats.charge_activity(ACT_FLUSH, self.clock.now() - start)
+        self.tracer.emit(
+            EV_FLUSH,
+            tables=len(outputs),
+            nbytes=flushed_bytes,
+            duration_us=self.clock.now() - start,
+        )
 
     def _maintenance_step(self) -> None:
         """One background-compaction round, charged to the current op.
@@ -244,13 +311,13 @@ class DB:
         """
         start = self.clock.now()
         self.policy.compact_one_tracked()
-        self.stats.charge_activity(ACT_COMPACTION, self.clock.now() - start)
+        self.engine_stats.charge_activity(ACT_COMPACTION, self.clock.now() - start)
 
     def _run_compactions(self) -> None:
         """Drain all due compaction work (Level-0 stop stall, close)."""
         start = self.clock.now()
         self.policy.maybe_compact()
-        self.stats.charge_activity(ACT_COMPACTION, self.clock.now() - start)
+        self.engine_stats.charge_activity(ACT_COMPACTION, self.clock.now() - start)
 
     # ------------------------------------------------------------------
     # Read path
@@ -261,13 +328,13 @@ class DB:
         _check_key(key)
         self.policy.on_operation(False)
         start = self.clock.now()
-        self.stats.gets += 1
+        self.engine_stats.gets += 1
         record = self._lookup(key)
-        self.stats.charge_activity(ACT_READ, self.clock.now() - start)
+        self.engine_stats.charge_activity(ACT_READ, self.clock.now() - start)
         self._maintenance_step()
         if record is None or record.is_tombstone:
             return None
-        self.stats.get_hits += 1
+        self.engine_stats.get_hits += 1
         return record.value
 
     def _lookup(self, key: bytes) -> Optional[KVRecord]:
@@ -328,7 +395,7 @@ class DB:
                     continue
                 self.clock.advance(costs.bloom_check_us)
                 if not piece.source.bloom.may_contain(key):
-                    self.stats.bloom_negative_skips += 1
+                    self.engine_stats.bloom_negative_skips += 1
                     continue
                 self._charge_point_read(piece.source, key)
                 record = piece.get(key)
@@ -342,7 +409,7 @@ class DB:
             return None
         self.clock.advance(costs.bloom_check_us)
         if not table.bloom.may_contain(key):
-            self.stats.bloom_negative_skips += 1
+            self.engine_stats.bloom_negative_skips += 1
             return None
         self._charge_point_read(table, key)
         record = table.get(key)
@@ -368,9 +435,18 @@ class DB:
         cache = self.block_cache
         if cache is not None and cache.lookup(table.file_id, block_index):
             self.clock.advance(self.config.costs.cache_hit_us)
+            self.tracer.emit(
+                EV_CACHE_HIT, file_id=table.file_id, block=block_index,
+                nbytes=nbytes,
+            )
             return
+        if cache is not None:
+            self.tracer.emit(
+                EV_CACHE_MISS, file_id=table.file_id, block=block_index,
+                nbytes=nbytes,
+            )
         self.device.read(nbytes, USER_READ)
-        self.stats.sstable_blocks_read += 1
+        self.engine_stats.sstable_blocks_read += 1
         if cache is not None:
             cache.insert(table.file_id, block_index, nbytes)
 
@@ -390,7 +466,7 @@ class DB:
             return []
         self.policy.on_operation(False)
         start_time = self.clock.now()
-        self.stats.scans += 1
+        self.engine_stats.scans += 1
 
         sources: List = [self._memtable.iter_from(start_key)]
         tables: List[SSTable] = []
@@ -413,7 +489,7 @@ class DB:
             results.append((record.key, record.value))
             if len(results) >= count:
                 break
-        self.stats.scanned_records += len(results)
+        self.engine_stats.scanned_records += len(results)
 
         # Charge the device for the block ranges each source actually
         # covered: from the scan start up to the last key returned (or the
@@ -424,7 +500,7 @@ class DB:
         for piece in slices:
             lo, hi = clamp_range(piece.lo, piece.hi, start_key, end_hi)
             self._charge_range_read(piece.source, lo, hi)
-        self.stats.charge_activity(ACT_SCAN, self.clock.now() - start_time)
+        self.engine_stats.charge_activity(ACT_SCAN, self.clock.now() - start_time)
         self._maintenance_step()
         return results
 
@@ -471,7 +547,7 @@ class DB:
 
     def write_amplification(self) -> float:
         """Measured physical-to-logical write ratio (Definition 2.6)."""
-        return self.device.stats.write_amplification(self.stats.user_bytes_written)
+        return self.device.stats.write_amplification(self.engine_stats.user_bytes_written)
 
     def logical_items(self) -> Iterator[Tuple[bytes, bytes]]:
         """Every live key-value pair, in key order, without cost charging.
@@ -516,7 +592,7 @@ class DB:
         extra = self.policy.extra_space_bytes()
         if extra:
             lines.append(f"frozen region: {extra} bytes")
-        stats = self.stats
+        stats = self.engine_stats
         lines.append(
             f"ops: puts={stats.puts} deletes={stats.deletes} gets={stats.gets} "
             f"scans={stats.scans}"
@@ -530,16 +606,19 @@ class DB:
         return "\n".join(lines)
 
     def reset_measurements(self) -> None:
-        """Zero the device and engine statistics.
+        """Zero every measurement through the shared metrics registry.
 
         Called by the harness after a load phase so that measured I/O,
         amplification and activity shares cover only the measured
-        operations (the virtual clock keeps running).
+        operations (the virtual clock keeps running).  One registry reset
+        zeroes engine, device, block-cache *and* policy counters
+        consistently — including policy-internal ones that the old
+        object-replacement approach could not reach — and clears
+        registered auxiliary state such as the per-round byte histogram.
+        Gauges (e.g. LDC's current threshold) describe live state and are
+        preserved.
         """
-        from ..ssd.metrics import IOStats
-
-        self.device.stats = IOStats()
-        self.stats = EngineStats()
+        self.registry.reset()
 
     def crash_and_recover(self) -> int:
         """Simulate a crash: drop the memtable, replay the WAL.
@@ -558,11 +637,15 @@ class DB:
         return len(records)
 
     def close(self) -> None:
-        """Flush outstanding writes and refuse further operations."""
+        """Flush outstanding writes and refuse further operations.
+
+        Also closes the tracer so file-backed trace sinks are flushed.
+        """
         if self._closed:
             return
         self.flush()
         self._closed = True
+        self.tracer.close()
 
     def _check_open(self) -> None:
         if self._closed:

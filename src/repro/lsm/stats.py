@@ -5,12 +5,21 @@ time* — how much virtual time was spent inside compaction, flushing, WAL
 appends, memtable work and read service.  The activity breakdown is what
 regenerates the paper's Table I ("DoCompactionWork 61.4%, file system
 20.9%, DoWrite 8.04%").
+
+Since the observability redesign, :class:`EngineStats` is a thin *view*
+over the shared :class:`~repro.obs.registry.MetricsRegistry`: every field
+below is a property reading and writing a ``engine.*`` registry counter,
+so ``db.metrics()`` sees the same numbers and one
+``db.reset_measurements()`` call zeroes them together with the device,
+cache and policy metrics.  The public surface (``stats.puts``,
+``stats.charge_activity(...)``, ``stats.round_bytes`` ...) is unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from ..obs.registry import MetricsRegistry
 
 # Activity labels (Table I analogues).
 ACT_COMPACTION = "compaction"  # DoCompactionWork
@@ -20,34 +29,49 @@ ACT_WRITE = "write"  # DoWrite: memtable insert + stalls
 ACT_READ = "read"  # point-lookup service
 ACT_SCAN = "scan"  # range-query service
 
+#: Integer engine counters, in declaration order.
+_INT_COUNTERS = (
+    "puts",
+    "deletes",
+    "gets",
+    "get_hits",
+    "scans",
+    "scanned_records",
+    "flush_count",
+    "compaction_count",
+    "trivial_moves",
+    "link_count",  # LDC link-phase actions
+    "merge_count",  # LDC merge-phase actions
+    "forced_merges",  # LDC merges forced by space/level pressure
+    "stall_events",
+    "user_bytes_written",
+    "sstable_blocks_read",  # data-block read count (paper Fig. 13)
+    "bloom_negative_skips",  # lookups a Bloom filter short-circuited
+)
+_FLOAT_COUNTERS = ("stall_time_us",)
 
-@dataclass
+_ACTIVITY_PREFIX = "engine.activity"
+
+
 class EngineStats:
-    """Counters and activity-time accounting for one DB instance."""
+    """Counters and activity-time accounting for one DB instance.
 
-    puts: int = 0
-    deletes: int = 0
-    gets: int = 0
-    get_hits: int = 0
-    scans: int = 0
-    scanned_records: int = 0
-    flush_count: int = 0
-    compaction_count: int = 0
-    trivial_moves: int = 0
-    link_count: int = 0  # LDC link-phase actions
-    merge_count: int = 0  # LDC merge-phase actions
-    forced_merges: int = 0  # LDC merges forced by space/level pressure
-    stall_events: int = 0
-    stall_time_us: float = 0.0
-    user_bytes_written: int = 0
-    sstable_blocks_read: int = 0  # data-block read count (paper Fig. 13)
-    bloom_negative_skips: int = 0  # lookups a Bloom filter short-circuited
-    activity_time_us: Dict[str, float] = field(default_factory=dict)
-    #: Bytes moved (read + written) by each individual compaction round —
-    #: the *granularity* distribution behind the paper's equation (3):
-    #: UDC rounds are O(fan_out) files, LDC rounds O(1).
-    round_bytes: List[int] = field(default_factory=list)
+    A view over an ``engine.*`` slice of a metrics registry.  Constructed
+    standalone it owns a private registry, so unit tests and ad-hoc use
+    need no setup; the DB passes its shared registry in.
+    """
 
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Bytes moved (read + written) by each individual compaction round —
+        #: the *granularity* distribution behind the paper's equation (3):
+        #: UDC rounds are O(fan_out) files, LDC rounds O(1).
+        self.round_bytes: List[int] = []
+        self.registry.on_reset(self.round_bytes.clear)
+
+    # ------------------------------------------------------------------
+    # Round granularity
+    # ------------------------------------------------------------------
     def record_round(self, nbytes: int) -> None:
         self.round_bytes.append(nbytes)
 
@@ -63,10 +87,16 @@ class EngineStats:
     def max_round_bytes(self) -> int:
         return max(self.round_bytes, default=0)
 
+    # ------------------------------------------------------------------
+    # Activity-time accounting (Table I)
+    # ------------------------------------------------------------------
     def charge_activity(self, activity: str, elapsed_us: float) -> None:
-        self.activity_time_us[activity] = (
-            self.activity_time_us.get(activity, 0.0) + elapsed_us
-        )
+        self.registry.add(f"{_ACTIVITY_PREFIX}.{activity}", elapsed_us)
+
+    @property
+    def activity_time_us(self) -> Dict[str, float]:
+        """Accumulated virtual time per activity (a copy)."""
+        return self.registry.component(_ACTIVITY_PREFIX)
 
     @property
     def total_activity_time_us(self) -> float:
@@ -74,10 +104,36 @@ class EngineStats:
 
     def activity_share(self) -> Dict[str, float]:
         """Fraction of accounted time per activity (Table I analogue)."""
-        total = self.total_activity_time_us
+        times = self.activity_time_us
+        total = sum(times.values())
         if total <= 0:
             return {}
         return {
             activity: elapsed / total
-            for activity, elapsed in sorted(self.activity_time_us.items())
+            for activity, elapsed in sorted(times.items())
         }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"EngineStats(puts={self.puts}, gets={self.gets}, "
+            f"flushes={self.flush_count}, compactions={self.compaction_count})"
+        )
+
+
+def _counter_property(name: str, cast: type) -> property:
+    key = f"engine.{name}"
+
+    def getter(self: EngineStats):
+        return cast(self.registry.counter(key))
+
+    def setter(self: EngineStats, value) -> None:
+        self.registry.set_counter(key, cast(value))
+
+    return property(getter, setter, doc=f"Registry counter ``{key}``.")
+
+
+for _name in _INT_COUNTERS:
+    setattr(EngineStats, _name, _counter_property(_name, int))
+for _name in _FLOAT_COUNTERS:
+    setattr(EngineStats, _name, _counter_property(_name, float))
+del _name

@@ -1,0 +1,67 @@
+"""Unified observability layer: tracing, metrics and latency histograms.
+
+Three pieces, one import::
+
+    from repro.obs import Tracer, RingBufferSink, JsonLinesSink   # events
+    from repro.obs import MetricsRegistry, MetricsSnapshot        # metrics
+    from repro.obs import LatencyHistogram                        # latency
+
+* The **event tracer** records typed, virtual-clock-timestamped events
+  (flush, compaction round, LDC link/merge, stall, cache hit/miss, device
+  I/O) through pluggable sinks.
+* The **metrics registry** is the single home of every counter and gauge;
+  the legacy ``EngineStats`` / ``IOStats`` objects are thin views over it,
+  and ``db.metrics()`` captures it as a frozen, diffable
+  :class:`MetricsSnapshot`.
+* **Latency histograms** stream log-bucketed samples into
+  p50/p90/p99/p99.9/max without storing every value.
+"""
+
+from .events import (
+    ALL_EVENT_KINDS,
+    EV_CACHE_HIT,
+    EV_CACHE_MISS,
+    EV_COMPACTION_ROUND,
+    EV_DEVICE_READ,
+    EV_DEVICE_WRITE,
+    EV_FLUSH,
+    EV_LINK,
+    EV_MERGE,
+    EV_STALL,
+    EV_TRIVIAL_MOVE,
+    TraceEvent,
+)
+from .histogram import DEFAULT_PERCENTILES, LatencyHistogram
+from .registry import MetricsRegistry
+from .snapshot import MetricsSnapshot
+from .tracer import (
+    JsonLinesSink,
+    RingBufferSink,
+    Tracer,
+    TraceSink,
+    summarize_events,
+)
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "TraceSink",
+    "RingBufferSink",
+    "JsonLinesSink",
+    "summarize_events",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "LatencyHistogram",
+    "DEFAULT_PERCENTILES",
+    "ALL_EVENT_KINDS",
+    "EV_FLUSH",
+    "EV_COMPACTION_ROUND",
+    "EV_LINK",
+    "EV_MERGE",
+    "EV_TRIVIAL_MOVE",
+    "EV_STALL",
+    "EV_CACHE_HIT",
+    "EV_CACHE_MISS",
+    "EV_DEVICE_READ",
+    "EV_DEVICE_WRITE",
+]

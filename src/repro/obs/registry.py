@@ -1,0 +1,136 @@
+"""The metrics registry: one namespace for every counter in the system.
+
+Before this subsystem existed, measurements lived in ad-hoc attributes
+scattered across ``EngineStats``, the device's ``IOStats`` and the block
+cache, and resetting them meant replacing whole objects — which silently
+skipped policy-internal counters.  The registry centralises all of that:
+
+* every metric is a **counter** (monotonic within a measurement window,
+  zeroed by :meth:`MetricsRegistry.reset`) or a **gauge** (a "current
+  value" such as LDC's adaptive threshold, untouched by resets);
+* metrics are addressed by dotted string keys, ``component.name`` by
+  convention (``engine.puts``, ``device.read.user_read.bytes``,
+  ``cache.hits``, ``policy.ldc.links``);
+* the legacy stats objects (:class:`~repro.lsm.stats.EngineStats`,
+  :class:`~repro.ssd.metrics.IOStats`) are thin *views* over one shared
+  registry, so ``db.reset_measurements()`` is a single
+  :meth:`MetricsRegistry.reset` call that zeroes engine, device, cache
+  and policy metrics consistently.
+
+Auxiliary measurement state that is not a plain number (e.g. the
+per-round compaction size list) registers a reset hook via
+:meth:`MetricsRegistry.on_reset` so it is cleared by the same call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Tuple, Union
+
+Number = Union[int, float]
+
+
+class MetricsRegistry:
+    """Named counters and gauges shared by one database instance."""
+
+    __slots__ = ("_counters", "_gauges", "_reset_hooks")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Number] = {}
+        self._gauges: Dict[str, Number] = {}
+        self._reset_hooks: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def add(self, key: str, amount: Number = 1) -> None:
+        """Increment counter ``key`` by ``amount`` (creating it at zero)."""
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set_counter(self, key: str, value: Number) -> None:
+        """Overwrite counter ``key`` (used by the legacy-view setters)."""
+        self._counters[key] = value
+
+    def counter(self, key: str, default: Number = 0) -> Number:
+        """Current value of counter ``key``."""
+        return self._counters.get(key, default)
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+    def set_gauge(self, key: str, value: Number) -> None:
+        """Record the current value of gauge ``key``."""
+        self._gauges[key] = value
+
+    def gauge(self, key: str, default: Number = 0) -> Number:
+        """Current value of gauge ``key``."""
+        return self._gauges.get(key, default)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, Number]:
+        """A copy of every counter."""
+        return dict(self._counters)
+
+    def gauges(self) -> Dict[str, Number]:
+        """A copy of every gauge."""
+        return dict(self._gauges)
+
+    def component(self, prefix: str) -> Dict[str, Number]:
+        """Counters under ``prefix.``, keyed by the remainder of the key.
+
+        ``registry.component("engine.activity")`` returns
+        ``{"compaction": ..., "flush": ...}``.
+        """
+        lead = prefix + "."
+        return {
+            key[len(lead):]: value
+            for key, value in self._counters.items()
+            if key.startswith(lead)
+        }
+
+    def sum_matching(self, prefix: str, suffix: str) -> Number:
+        """Sum counters that start with ``prefix`` and end with ``suffix``.
+
+        Used for roll-ups such as "all device write bytes":
+        ``registry.sum_matching("device.write.", ".bytes")``.
+        """
+        return sum(
+            value
+            for key, value in self._counters.items()
+            if key.startswith(prefix) and key.endswith(suffix)
+        )
+
+    def __iter__(self) -> Iterator[Tuple[str, Number]]:
+        return iter(self._counters.items())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters or key in self._gauges
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    # ------------------------------------------------------------------
+    # Reset
+    # ------------------------------------------------------------------
+    def on_reset(self, hook: Callable[[], None]) -> None:
+        """Register a callable run by :meth:`reset` (clear auxiliary state)."""
+        self._reset_hooks.append(hook)
+
+    def reset(self) -> None:
+        """Zero every counter and run the registered reset hooks.
+
+        Keys survive (zeroed, preserving int/float-ness) so live views keep
+        reading consistently; gauges are left alone — they describe current
+        state (a threshold, a space level), not accumulated measurement.
+        """
+        for key, value in self._counters.items():
+            self._counters[key] = type(value)()
+        for hook in self._reset_hooks:
+            hook()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges)"
+        )

@@ -13,14 +13,24 @@ Service time of one request of ``n`` bytes::
 
 Reads and writes use their own overheads and bandwidths, preserving the
 read/write asymmetry the paper's analysis builds on.
+
+Observability: every charged transfer is recorded in the shared metrics
+registry (under ``device.<direction>.<category>.*``) and, when a tracer
+with sinks is attached, emitted as a ``device_read`` / ``device_write``
+trace event.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from .clock import SimClock
 from .metrics import IOStats
 from .profile import ENTERPRISE_PCIE, SSDProfile
 from ..errors import DeviceError
+from ..obs.events import EV_DEVICE_READ, EV_DEVICE_WRITE
+from ..obs.registry import MetricsRegistry
+from ..obs.tracer import Tracer
 
 
 class SimulatedSSD:
@@ -34,12 +44,27 @@ class SimulatedSSD:
     clock:
         The virtual clock to advance.  A fresh clock is created when omitted
         so standalone device tests need no setup.
+    registry:
+        The metrics registry backing the I/O counters; a private one is
+        created when omitted.  The DB passes its shared registry so device
+        counters appear in ``db.metrics()`` and reset with everything else.
+    tracer:
+        Event tracer for per-transfer ``device_read``/``device_write``
+        events; an inert (sink-less) tracer is created when omitted.
     """
 
-    def __init__(self, profile: SSDProfile = ENTERPRISE_PCIE, clock: SimClock | None = None) -> None:
+    def __init__(
+        self,
+        profile: SSDProfile = ENTERPRISE_PCIE,
+        clock: SimClock | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.profile = profile
         self.clock = clock if clock is not None else SimClock()
-        self.stats = IOStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = IOStats(registry=self.registry)
+        self.tracer = tracer if tracer is not None else Tracer(clock=self.clock)
 
     # ------------------------------------------------------------------
     # Cost queries (no side effects) — used by planners and the model layer.
@@ -68,6 +93,14 @@ class SimulatedSSD:
         elapsed = self.read_cost_us(nbytes, sequential=sequential)
         self.clock.advance(elapsed)
         self.stats.record_read(category, nbytes, elapsed)
+        if self.tracer.active:
+            self.tracer.emit(
+                EV_DEVICE_READ,
+                category=category,
+                nbytes=nbytes,
+                elapsed_us=elapsed,
+                sequential=sequential,
+            )
         return elapsed
 
     def write(self, nbytes: int, category: str, *, sequential: bool = False) -> float:
@@ -75,9 +108,32 @@ class SimulatedSSD:
         elapsed = self.write_cost_us(nbytes, sequential=sequential)
         self.clock.advance(elapsed)
         self.stats.record_write(category, nbytes, elapsed)
+        if self.tracer.active:
+            self.tracer.emit(
+                EV_DEVICE_WRITE,
+                category=category,
+                nbytes=nbytes,
+                elapsed_us=elapsed,
+                sequential=sequential,
+            )
         return elapsed
 
     # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> IOStats:
+        """Deprecated alias for :attr:`stats`.
+
+        The unified entry point is ``db.metrics()``; for a live device view
+        use :attr:`stats`.
+        """
+        warnings.warn(
+            "SimulatedSSD.metrics is deprecated; use SimulatedSSD.stats "
+            "for a live view or db.metrics() for a unified snapshot",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.stats
+
     @property
     def wear_bytes(self) -> int:
         """Total bytes physically written to flash (endurance proxy)."""

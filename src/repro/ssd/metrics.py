@@ -5,12 +5,20 @@ which engine activity issued it (user reads, WAL appends, memtable flushes,
 compaction reads/writes, ...).  The per-category byte counts are what
 regenerate the paper's compaction-efficiency results (Fig. 10c, Fig. 12d/e,
 Fig. 14's I/O series) and the Table I time breakdown.
+
+Since the observability redesign the counters live in the shared
+:class:`~repro.obs.registry.MetricsRegistry` under
+``device.<direction>.<category>.{ops,bytes,time_us}``;
+:class:`CategoryStats` and :class:`IOStats` are thin views over that
+namespace.  Their public surface is unchanged, and standalone construction
+(``IOStats()``) owns a private registry so unit tests need no setup.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Optional, Tuple
+
+from ..obs.registry import MetricsRegistry
 
 # Canonical I/O categories used across the engine.
 USER_READ = "user_read"
@@ -29,47 +37,103 @@ ALL_CATEGORIES: Tuple[str, ...] = (
     COMPACTION_WRITE,
 )
 
+_PREFIX = "device"
 
-@dataclass
+
 class CategoryStats:
-    """Counters for one (category, direction) stream of I/O."""
+    """View of one (category, direction) stream of I/O in the registry."""
 
-    ops: int = 0
-    bytes: int = 0
-    time_us: float = 0.0
+    __slots__ = ("registry", "key")
+
+    def __init__(
+        self,
+        ops: int = 0,
+        bytes: int = 0,
+        time_us: float = 0.0,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        key: str = "device.adhoc.uncategorized",
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.key = key
+        if ops:
+            self.ops = ops
+        if bytes:
+            self.bytes = bytes
+        if time_us:
+            self.time_us = time_us
+
+    @property
+    def ops(self) -> int:
+        return int(self.registry.counter(f"{self.key}.ops"))
+
+    @ops.setter
+    def ops(self, value: int) -> None:
+        self.registry.set_counter(f"{self.key}.ops", int(value))
+
+    @property
+    def bytes(self) -> int:
+        return int(self.registry.counter(f"{self.key}.bytes"))
+
+    @bytes.setter
+    def bytes(self, value: int) -> None:
+        self.registry.set_counter(f"{self.key}.bytes", int(value))
+
+    @property
+    def time_us(self) -> float:
+        return float(self.registry.counter(f"{self.key}.time_us"))
+
+    @time_us.setter
+    def time_us(self, value: float) -> None:
+        self.registry.set_counter(f"{self.key}.time_us", float(value))
 
     def record(self, nbytes: int, elapsed_us: float) -> None:
-        self.ops += 1
-        self.bytes += nbytes
-        self.time_us += elapsed_us
+        add = self.registry.add
+        add(f"{self.key}.ops", 1)
+        add(f"{self.key}.bytes", nbytes)
+        add(f"{self.key}.time_us", elapsed_us)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CategoryStats(ops={self.ops}, bytes={self.bytes}, "
+            f"time_us={self.time_us:.1f})"
+        )
 
 
-@dataclass
 class IOStats:
     """Aggregated device-side statistics, split by direction and category."""
 
-    reads: Dict[str, CategoryStats] = field(default_factory=dict)
-    writes: Dict[str, CategoryStats] = field(default_factory=dict)
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.reads: Dict[str, CategoryStats] = {}
+        self.writes: Dict[str, CategoryStats] = {}
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
+    def _stream(
+        self, streams: Dict[str, CategoryStats], direction: str, category: str
+    ) -> CategoryStats:
+        stats = streams.get(category)
+        if stats is None:
+            stats = CategoryStats(
+                registry=self.registry, key=f"{_PREFIX}.{direction}.{category}"
+            )
+            streams[category] = stats
+        return stats
+
     def record_read(self, category: str, nbytes: int, elapsed_us: float) -> None:
-        self.reads.setdefault(category, CategoryStats()).record(nbytes, elapsed_us)
+        self._stream(self.reads, "read", category).record(nbytes, elapsed_us)
 
     def record_write(self, category: str, nbytes: int, elapsed_us: float) -> None:
-        self.writes.setdefault(category, CategoryStats()).record(nbytes, elapsed_us)
+        self._stream(self.writes, "write", category).record(nbytes, elapsed_us)
 
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
-    @staticmethod
-    def _total(streams: Iterable[CategoryStats], attr: str) -> float:
-        return sum(getattr(stats, attr) for stats in streams)
-
     @property
     def total_bytes_read(self) -> int:
-        return int(self._total(self.reads.values(), "bytes"))
+        return int(self.registry.sum_matching(f"{_PREFIX}.read.", ".bytes"))
 
     @property
     def total_bytes_written(self) -> int:
@@ -78,25 +142,26 @@ class IOStats:
         The paper argues LDC extends SSD lifetime by roughly halving
         compaction writes; this counter is the measured quantity.
         """
-        return int(self._total(self.writes.values(), "bytes"))
+        return int(self.registry.sum_matching(f"{_PREFIX}.write.", ".bytes"))
 
     @property
     def total_time_us(self) -> float:
-        return self._total(self.reads.values(), "time_us") + self._total(
-            self.writes.values(), "time_us"
+        return float(
+            self.registry.sum_matching(f"{_PREFIX}.read.", ".time_us")
+            + self.registry.sum_matching(f"{_PREFIX}.write.", ".time_us")
         )
 
     def bytes_read(self, category: str) -> int:
-        return self.reads.get(category, CategoryStats()).bytes
+        return int(self.registry.counter(f"{_PREFIX}.read.{category}.bytes"))
 
     def bytes_written(self, category: str) -> int:
-        return self.writes.get(category, CategoryStats()).bytes
+        return int(self.registry.counter(f"{_PREFIX}.write.{category}.bytes"))
 
     def time_us_read(self, category: str) -> float:
-        return self.reads.get(category, CategoryStats()).time_us
+        return float(self.registry.counter(f"{_PREFIX}.read.{category}.time_us"))
 
     def time_us_written(self, category: str) -> float:
-        return self.writes.get(category, CategoryStats()).time_us
+        return float(self.registry.counter(f"{_PREFIX}.write.{category}.time_us"))
 
     @property
     def compaction_bytes_read(self) -> int:
