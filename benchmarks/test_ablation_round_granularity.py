@@ -30,7 +30,7 @@ def _round_distribution(ops, keys):
                 db.put(operation.key, operation.value)
             else:
                 db.get(operation.key)
-        stats = db.stats
+        stats = db.engine_stats
         results[name] = {
             "rounds": len(stats.round_bytes),
             "p50": stats.round_bytes_percentile(50),

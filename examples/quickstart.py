@@ -43,7 +43,7 @@ def main() -> None:
     print("scan from user:2000 ->", [key.decode() for key, _ in window])
 
     # --- What the engine did ---------------------------------------------
-    stats = db.stats
+    stats = db.engine_stats
     device = db.device.stats
     print(
         f"flushes={stats.flush_count}  links={stats.link_count}  "

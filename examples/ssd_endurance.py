@@ -42,7 +42,7 @@ def main() -> None:
     rows = []
     for name, policy in (("UDC", LeveledCompaction()), ("LDC", LDCPolicy())):
         db = ingest(policy)
-        user_bytes = db.stats.user_bytes_written
+        user_bytes = db.engine_stats.user_bytes_written
         wear = db.device.wear_bytes
         rows.append((name, user_bytes, wear, db.write_amplification()))
 

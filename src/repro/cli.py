@@ -7,12 +7,16 @@ Usage::
     python -m repro fig12be --ops 30000 --keys 10000
     python -m repro describe                   # quick engine demo + describe()
     python -m repro trace WO --policy ldc --trace-out run.jsonl
+    python -m repro bench --quick              # wall-clock perf suite
 
 The heavy lifting lives in :mod:`repro.harness.experiments`; this module
 maps experiment names to those entry points and prints their results as
 tables.  The ``trace`` subcommand runs one Table III workload with the
 observability layer's event tracer attached and writes the full engine
 timeline (flushes, compaction rounds, links/merges, stalls) as JSON-lines.
+The ``bench`` subcommand runs the wall-clock performance suite
+(:mod:`repro.harness.bench`) and writes a ``BENCH_<name>.json`` artifact
+tracking how fast the simulator itself runs on the host.
 """
 
 from __future__ import annotations
@@ -206,6 +210,41 @@ def run_trace(
     return 0
 
 
+def run_bench_cli(
+    quick: bool,
+    out_dir: str,
+    name: str,
+    only: Optional[str] = None,
+) -> int:
+    """Run the wall-clock benchmark suite and write ``BENCH_<name>.json``."""
+    from .harness import bench
+
+    names = None
+    if only:
+        names = [item.strip() for item in only.split(",") if item.strip()]
+    try:
+        results = bench.run_bench(
+            names=names, quick=quick, progress=lambda n: print(f"running {n} ...")
+        )
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    rows = [
+        (
+            result.name,
+            result.ops,
+            round(result.wall_s, 3),
+            round(result.ops_per_sec),
+        )
+        for result in results
+    ]
+    print(format_table(["benchmark", "ops", "wall s", "ops/s"], rows, title="bench"))
+    report = bench.bench_report(results, name=name, quick=quick)
+    path = bench.write_bench_report(report, out_dir=out_dir)
+    print(f"report written to {path}")
+    return 0
+
+
 EXPERIMENTS: Dict[str, Callable[[int, int], None]] = {
     "fig01": _run_fig01,
     "tab1": _run_tab1,
@@ -263,17 +302,56 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also trace per-I/O device and cache events (verbose)",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink the bench suite ~10x for smoke runs ('bench' only)",
+    )
+    parser.add_argument(
+        "--bench-out",
+        default=".",
+        metavar="DIR",
+        help="directory receiving BENCH_<name>.json ('bench' only)",
+    )
+    parser.add_argument(
+        "--bench-name",
+        default="latest",
+        help="artifact name: BENCH_<name>.json ('bench' only)",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated benchmark subset ('bench' only)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run experiment grids across N worker processes (default serial)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.workers is not None:
+        experiments.set_default_workers(args.workers)
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
         print("trace")
+        print("bench")
         return 0
+    if args.experiment == "bench":
+        return run_bench_cli(
+            quick=args.quick,
+            out_dir=args.bench_out,
+            name=args.bench_name,
+            only=args.only,
+        )
     if args.experiment == "trace":
         if args.workload is None:
             print("trace requires a workload name, e.g. `repro trace WO`",

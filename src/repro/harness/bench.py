@@ -1,0 +1,297 @@
+"""Wall-clock benchmark suite behind ``repro bench``.
+
+Everything else in the harness measures *virtual* time — the simulated
+device clock that the paper's figures are drawn in.  This module measures
+the opposite axis: how fast the simulator itself runs on the host, in real
+seconds.  That number bounds how large a reproduction we can afford (the
+paper's evaluation is 10-30 M requests; ROADMAP: "as fast as the hardware
+allows"), so it is tracked as a first-class artifact: every invocation
+writes a ``BENCH_<name>.json`` snapshot that later PRs diff against.
+
+The suite has two tiers:
+
+* **micro** — isolated hot paths (Bloom probes, k-way merge throughput,
+  memtable fill), catching regressions in one subsystem before they blur
+  into end-to-end noise;
+* **macro** — whole-engine runs through :func:`~repro.harness.runner.
+  run_workload` (fillrandom, readrandom, and a UDC-vs-LDC comparison run),
+  the numbers that decide how big the figure benchmarks may be.
+
+``--quick`` shrinks every benchmark ~10x for CI smoke runs: the JSON is
+still schema-complete, only the operation counts (and hence the noise
+floor) differ.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .runner import run_workload
+from ..core.ldc import LDCPolicy
+from ..lsm.bloom import BloomFilter
+from ..lsm.compaction.leveled import LeveledCompaction
+from ..lsm.config import LSMConfig
+from ..lsm.iterators import merge_records
+from ..lsm.memtable import MemTable
+from ..lsm.record import KVRecord
+from ..workload import spec as workloads
+
+#: Schema tag written into every BENCH_*.json (bump on breaking changes).
+BENCH_SCHEMA = "repro-bench/v1"
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's wall-clock measurement."""
+
+    name: str
+    ops: int
+    wall_s: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ops_per_sec(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.ops / self.wall_s
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ops": self.ops,
+            "wall_s": round(self.wall_s, 6),
+            "ops_per_sec": round(self.ops_per_sec, 1),
+            "extra": {key: round(value, 6) for key, value in self.extra.items()},
+        }
+
+
+def _keys(count: int, width: int = 16) -> List[bytes]:
+    return [str(index).zfill(width).encode("ascii") for index in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Micro benchmarks
+# ----------------------------------------------------------------------
+def bench_bloom_probe(quick: bool = False) -> BenchResult:
+    """Bloom filter probes: half present keys, half definite misses."""
+    nkeys = 2_000 if quick else 10_000
+    nprobes = 20_000 if quick else 200_000
+    members = _keys(nkeys)
+    absent = _keys(nkeys, width=16)
+    absent = [b"x" + key[1:] for key in absent]  # same length, disjoint
+    bloom = BloomFilter(members, bits_per_key=10)
+    probes = [
+        members[index % nkeys] if index % 2 == 0 else absent[index % nkeys]
+        for index in range(nprobes)
+    ]
+    may_contain = bloom.may_contain
+    start = time.perf_counter()
+    hits = 0
+    for key in probes:
+        if may_contain(key):
+            hits += 1
+    wall = time.perf_counter() - start
+    return BenchResult(
+        "bloom_probe", nprobes, wall, extra={"positive_fraction": hits / nprobes}
+    )
+
+
+def bench_bloom_build(quick: bool = False) -> BenchResult:
+    """Bloom filter construction throughput (keys inserted per second)."""
+    nkeys = 2_000 if quick else 20_000
+    rounds = 3 if quick else 10
+    members = _keys(nkeys)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        BloomFilter(members, bits_per_key=10)
+    wall = time.perf_counter() - start
+    return BenchResult("bloom_build", nkeys * rounds, wall)
+
+
+def bench_merge_throughput(quick: bool = False) -> BenchResult:
+    """K-way merge of overlapping sorted runs (records merged per second)."""
+    nstreams = 8
+    per_stream = 2_000 if quick else 20_000
+    streams: List[List[KVRecord]] = []
+    seq = 0
+    for stream in range(nstreams):
+        records = []
+        for index in range(per_stream):
+            seq += 1
+            key = str(index * nstreams + stream).zfill(16).encode("ascii")
+            records.append(KVRecord(key, seq, 1, b"v" * 100))
+        streams.append(records)
+    start = time.perf_counter()
+    merged = sum(1 for _ in merge_records([iter(s) for s in streams]))
+    wall = time.perf_counter() - start
+    return BenchResult(
+        "merge_throughput", nstreams * per_stream, wall, extra={"merged": merged}
+    )
+
+
+def bench_memtable_fill(quick: bool = False) -> BenchResult:
+    """Memtable (skip-list) inserts of shuffled keys per second."""
+    count = 5_000 if quick else 50_000
+    import random
+
+    order = list(range(count))
+    random.Random(7).shuffle(order)
+    records = [
+        KVRecord(str(index).zfill(16).encode("ascii"), index + 1, 1, b"v" * 64)
+        for index in order
+    ]
+    table = MemTable(seed=0)
+    add = table.add
+    start = time.perf_counter()
+    for record in records:
+        add(record)
+    wall = time.perf_counter() - start
+    return BenchResult("memtable_fill", count, wall, extra={"records": len(table)})
+
+
+# ----------------------------------------------------------------------
+# Macro benchmarks (whole engine, wall-clock around run_workload)
+# ----------------------------------------------------------------------
+def _macro_spec(name: str, ops: int, keys: int, **overrides: object):
+    factory = workloads.TABLE_III[name]
+    return factory(num_operations=ops, key_space=keys, **overrides)
+
+
+def bench_fillrandom(quick: bool = False) -> BenchResult:
+    """Pure random insertion through the full engine (UDC policy)."""
+    ops = 3_000 if quick else 30_000
+    keys = max(500, ops // 3)
+    spec = _macro_spec("WO", ops, keys)
+    start = time.perf_counter()
+    result = run_workload(spec, LeveledCompaction, config=LSMConfig())
+    wall = time.perf_counter() - start
+    return BenchResult(
+        "fillrandom",
+        ops,
+        wall,
+        extra={
+            "sim_throughput_ops_s": result.throughput_ops_s,
+            "write_amplification": result.write_amplification,
+        },
+    )
+
+
+def bench_readrandom(quick: bool = False) -> BenchResult:
+    """Random point lookups against a preloaded store (UDC policy)."""
+    ops = 3_000 if quick else 30_000
+    keys = max(500, ops // 3)
+    spec = _macro_spec("RO", ops, keys, preload_keys=keys)
+    start = time.perf_counter()
+    result = run_workload(spec, LeveledCompaction, config=LSMConfig())
+    wall = time.perf_counter() - start
+    return BenchResult(
+        "readrandom",
+        ops,
+        wall,
+        extra={"sim_throughput_ops_s": result.throughput_ops_s},
+    )
+
+
+def bench_udc_vs_ldc(quick: bool = False) -> BenchResult:
+    """End-to-end RWB comparison run, both policies back to back.
+
+    This is the figure benchmarks' inner loop; its wall-clock cost decides
+    how large every reproduction sweep may be.
+    """
+    ops = 2_000 if quick else 20_000
+    keys = max(500, ops // 3)
+    spec = _macro_spec("RWB", ops, keys)
+    start = time.perf_counter()
+    udc = run_workload(spec, LeveledCompaction, config=LSMConfig())
+    udc_wall = time.perf_counter() - start
+    mid = time.perf_counter()
+    ldc = run_workload(spec, LDCPolicy, config=LSMConfig())
+    ldc_wall = time.perf_counter() - mid
+    wall = udc_wall + ldc_wall
+    return BenchResult(
+        "udc_vs_ldc",
+        2 * ops,
+        wall,
+        extra={
+            "udc_wall_s": udc_wall,
+            "ldc_wall_s": ldc_wall,
+            "udc_sim_throughput_ops_s": udc.throughput_ops_s,
+            "ldc_sim_throughput_ops_s": ldc.throughput_ops_s,
+        },
+    )
+
+
+#: The fixed suite, in execution order.
+BENCHMARKS: Dict[str, Callable[[bool], BenchResult]] = {
+    "bloom_probe": bench_bloom_probe,
+    "bloom_build": bench_bloom_build,
+    "merge_throughput": bench_merge_throughput,
+    "memtable_fill": bench_memtable_fill,
+    "fillrandom": bench_fillrandom,
+    "readrandom": bench_readrandom,
+    "udc_vs_ldc": bench_udc_vs_ldc,
+}
+
+
+def run_bench(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BenchResult]:
+    """Run the requested benchmarks (default: the whole suite), in order."""
+    selected = list(BENCHMARKS) if names is None else list(names)
+    unknown = [name for name in selected if name not in BENCHMARKS]
+    if unknown:
+        known = ", ".join(BENCHMARKS)
+        raise KeyError(f"unknown benchmark(s) {unknown}; known: {known}")
+    results = []
+    for name in selected:
+        if progress is not None:
+            progress(name)
+        results.append(BENCHMARKS[name](quick))
+    return results
+
+
+def bench_report(
+    results: Sequence[BenchResult], name: str, quick: bool
+) -> Dict[str, object]:
+    """Assemble the JSON document written to ``BENCH_<name>.json``."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "quick": quick,
+        "unix_time": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "benchmarks": {result.name: result.to_dict() for result in results},
+    }
+
+
+def write_bench_report(report: Dict[str, object], out_dir: str = ".") -> str:
+    """Write the report as ``<out_dir>/BENCH_<name>.json``; return the path."""
+    import os
+
+    path = os.path.join(out_dir, f"BENCH_{report['name']}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def compare_reports(
+    before: Dict[str, object], after: Dict[str, object]
+) -> Dict[str, float]:
+    """Per-benchmark speedup factors (after ops/sec over before ops/sec)."""
+    out: Dict[str, float] = {}
+    before_benches = before.get("benchmarks", {})
+    after_benches = after.get("benchmarks", {})
+    for bench_name, data in after_benches.items():  # type: ignore[union-attr]
+        base = before_benches.get(bench_name)  # type: ignore[union-attr]
+        if not base or not base.get("ops_per_sec"):
+            continue
+        out[bench_name] = data["ops_per_sec"] / base["ops_per_sec"]
+    return out

@@ -7,6 +7,13 @@ defaults (`DEFAULT_OPS` operations over `DEFAULT_KEY_SPACE` keys, 16-B
 keys / 1-KB values as in §IV-A) and accept overrides so tests can run tiny
 versions and benches can run larger ones.
 
+Every sweep is expressed as a list of :class:`GridTask` items executed by
+:func:`run_grid`, which runs them serially by default or across worker
+processes when requested (``repro <experiment> --workers N``).  Each grid
+point is an independent simulation over its own virtual device, so results
+are bit-identical regardless of worker count or scheduling; ``run_grid``
+preserves task order in its result list.
+
 The absolute numbers differ from the paper's (their testbed: C++ LevelDB,
 800 GB PCIe SSD, 10–30 M requests; ours: a Python engine over a simulated
 device at ~10^5 requests).  What must match — and what the benches assert —
@@ -15,8 +22,9 @@ is the *shape*: who wins, roughly by how much, and where optima sit.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .latency import PAPER_PERCENTILES
 from .runner import RunResult, run_workload
@@ -49,13 +57,22 @@ def udc_factory() -> LeveledCompaction:
     return LeveledCompaction()
 
 
+@dataclass(frozen=True)
+class _LDCFactory:
+    """Picklable parameterised LDC factory (closures cannot cross process
+    boundaries, and grid tasks must)."""
+
+    threshold: Optional[int] = None
+    adaptive: Optional[bool] = None
+
+    def __call__(self) -> LDCPolicy:
+        return LDCPolicy(threshold=self.threshold, adaptive=self.adaptive)
+
+
 def ldc_factory(
     threshold: Optional[int] = None, adaptive: Optional[bool] = None
 ) -> Callable[[], LDCPolicy]:
-    def make() -> LDCPolicy:
-        return LDCPolicy(threshold=threshold, adaptive=adaptive)
-
-    return make
+    return _LDCFactory(threshold=threshold, adaptive=adaptive)
 
 
 def tiered_factory() -> TieredCompaction:
@@ -96,6 +113,79 @@ class ExperimentOutput:
         raise KeyError(f"no row for ({workload!r}, {policy!r})")
 
 
+# ----------------------------------------------------------------------
+# The experiment grid: declarative points, serial or multi-process
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GridTask:
+    """One independent (workload, policy, config, device) simulation.
+
+    Every field must be picklable — tasks and their RunResults cross
+    process boundaries when the grid runs with workers.
+    """
+
+    label: str
+    spec: WorkloadSpec
+    policy: str
+    factory: Callable[[], object]
+    config: Optional[LSMConfig] = None
+    profile: SSDProfile = ENTERPRISE_PCIE
+
+
+def _run_grid_task(task: GridTask) -> RunResult:
+    """Top-level worker entry point (must be importable for pickling)."""
+    return run_workload(
+        task.spec, task.factory, config=task.config, profile=task.profile
+    )
+
+
+#: Process count used when ``run_grid`` is called without ``workers``.
+#: ``None`` or 1 means serial in-process execution.
+_default_workers: Optional[int] = None
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set the grid-wide worker count (the CLI's ``--workers`` flag)."""
+    global _default_workers
+    if workers is not None and workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    _default_workers = workers
+
+
+def default_workers() -> Optional[int]:
+    """Current grid-wide worker count (None = serial)."""
+    return _default_workers
+
+
+def run_grid(
+    tasks: Iterable[GridTask], workers: Optional[int] = None
+) -> List[RunResult]:
+    """Run every task and return results in task order.
+
+    Serial when ``workers`` (or the module default) is None or 1;
+    otherwise the tasks are fanned out over a ``ProcessPoolExecutor``.
+    ``executor.map`` preserves input ordering, and each task simulates its
+    own device and virtual clock, so the result list is identical —
+    ordering and values — whatever the worker count.
+    """
+    task_list = list(tasks)
+    if workers is None:
+        workers = _default_workers
+    if workers is None or workers <= 1 or len(task_list) <= 1:
+        return [_run_grid_task(task) for task in task_list]
+    with ProcessPoolExecutor(max_workers=min(workers, len(task_list))) as pool:
+        return list(pool.map(_run_grid_task, task_list))
+
+
+def _grid_output(name: str, tasks: Sequence[GridTask]) -> ExperimentOutput:
+    """Run a grid and fold the results into labelled comparison rows."""
+    results = run_grid(tasks)
+    output = ExperimentOutput(name=name)
+    for task, result in zip(tasks, results):
+        output.rows.append(ComparisonRow(task.label, task.policy, result))
+    return output
+
+
 def _run_matrix(
     name: str,
     specs: Sequence[WorkloadSpec],
@@ -103,12 +193,12 @@ def _run_matrix(
     config: Optional[LSMConfig] = None,
     profile: SSDProfile = ENTERPRISE_PCIE,
 ) -> ExperimentOutput:
-    output = ExperimentOutput(name=name)
-    for spec_item in specs:
-        for policy_name, factory in policies:
-            result = run_workload(spec_item, factory, config=config, profile=profile)
-            output.rows.append(ComparisonRow(spec_item.name, policy_name, result))
-    return output
+    tasks = [
+        GridTask(spec_item.name, spec_item, policy_name, factory, config, profile)
+        for spec_item in specs
+        for policy_name, factory in policies
+    ]
+    return _grid_output(name, tasks)
 
 
 def _paper_mixes(
@@ -184,13 +274,18 @@ def fig07_fanout_udc(
     key_space: int = DEFAULT_KEY_SPACE,
 ) -> ExperimentOutput:
     """UDC write amplification and throughput across fan-outs (RWB)."""
-    output = ExperimentOutput(name="fig07")
-    for fan_out in fan_outs:
-        config = experiment_config(fan_out=fan_out)
-        spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
-        result = run_workload(spec_item, udc_factory, config=config)
-        output.rows.append(ComparisonRow(f"fanout={fan_out}", "UDC", result))
-    return output
+    spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
+    tasks = [
+        GridTask(
+            f"fanout={fan_out}",
+            spec_item,
+            "UDC",
+            udc_factory,
+            experiment_config(fan_out=fan_out),
+        )
+        for fan_out in fan_outs
+    ]
+    return _grid_output("fig07", tasks)
 
 
 # ----------------------------------------------------------------------
@@ -207,11 +302,15 @@ def fig08_tail_latency(
     from 2688.23 µs to 1305.96 µs.
     """
     spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
-    out: Dict[str, Dict[float, float]] = {}
-    for policy_name, factory in BOTH_POLICIES:
-        result = run_workload(spec_item, factory, config=experiment_config())
-        out[policy_name] = result.latencies.percentiles(percentiles)
-    return out
+    tasks = [
+        GridTask(spec_item.name, spec_item, policy_name, factory, experiment_config())
+        for policy_name, factory in BOTH_POLICIES
+    ]
+    results = run_grid(tasks)
+    return {
+        task.policy: result.latencies.percentiles(percentiles)
+        for task, result in zip(tasks, results)
+    }
 
 
 # ----------------------------------------------------------------------
@@ -309,16 +408,21 @@ def fig12ad_slicelink_threshold(
     key_space: int = DEFAULT_KEY_SPACE,
 ) -> ExperimentOutput:
     """LDC throughput and compaction I/O across T_s (paper optimum: fan-out)."""
-    output = ExperimentOutput(name="fig12ad")
     spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
-    for threshold in thresholds:
-        result = run_workload(
-            spec_item, ldc_factory(threshold=threshold), config=experiment_config()
+    tasks = [
+        GridTask(
+            f"T_s={threshold}",
+            spec_item,
+            "LDC",
+            ldc_factory(threshold=threshold),
+            experiment_config(),
         )
-        output.rows.append(ComparisonRow(f"T_s={threshold}", "LDC", result))
-    reference = run_workload(spec_item, udc_factory, config=experiment_config())
-    output.rows.append(ComparisonRow("reference", "UDC", reference))
-    return output
+        for threshold in thresholds
+    ]
+    tasks.append(
+        GridTask("reference", spec_item, "UDC", udc_factory, experiment_config())
+    )
+    return _grid_output("fig12ad", tasks)
 
 
 # ----------------------------------------------------------------------
@@ -331,16 +435,19 @@ def fig12be_fanout_sweep(
 ) -> ExperimentOutput:
     """Throughput / compaction I/O vs fan-out (paper: LDC wins 8.8–187.9%,
     UDC optimum ~3, LDC optimum ~25)."""
-    output = ExperimentOutput(name="fig12be")
     spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
-    for fan_out in fan_outs:
-        config = experiment_config(fan_out=fan_out)
-        for policy_name, factory in BOTH_POLICIES:
-            result = run_workload(spec_item, factory, config=config)
-            output.rows.append(
-                ComparisonRow(f"fanout={fan_out}", policy_name, result)
-            )
-    return output
+    tasks = [
+        GridTask(
+            f"fanout={fan_out}",
+            spec_item,
+            policy_name,
+            factory,
+            experiment_config(fan_out=fan_out),
+        )
+        for fan_out in fan_outs
+        for policy_name, factory in BOTH_POLICIES
+    ]
+    return _grid_output("fig12be", tasks)
 
 
 # ----------------------------------------------------------------------
@@ -352,14 +459,19 @@ def fig12cf_bloom_rwb(
     key_space: int = DEFAULT_KEY_SPACE,
 ) -> ExperimentOutput:
     """RWB performance across Bloom sizes (paper: flat from 10 bits/key up)."""
-    output = ExperimentOutput(name="fig12cf")
     spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
-    for bits in bits_per_key:
-        config = experiment_config(bloom_bits_per_key=bits)
-        for policy_name, factory in BOTH_POLICIES:
-            result = run_workload(spec_item, factory, config=config)
-            output.rows.append(ComparisonRow(f"bits={bits}", policy_name, result))
-    return output
+    tasks = [
+        GridTask(
+            f"bits={bits}",
+            spec_item,
+            policy_name,
+            factory,
+            experiment_config(bloom_bits_per_key=bits),
+        )
+        for bits in bits_per_key
+        for policy_name, factory in BOTH_POLICIES
+    ]
+    return _grid_output("fig12cf", tasks)
 
 
 # ----------------------------------------------------------------------
@@ -375,16 +487,25 @@ def fig13_bloom_ro(
     Paper: block reads stop improving past ~16 bits/key; a 2-MB SSTable's
     filter is ~11.3 KB at 8 bits/key, growing to 67.3 KB at 128.
     """
+    spec_item = workloads.ro(num_operations=ops, key_space=key_space)
+    tasks = [
+        GridTask(
+            f"bits={bits}",
+            spec_item,
+            "LDC",
+            LDCPolicy,
+            experiment_config(bloom_bits_per_key=bits),
+        )
+        for bits in bits_per_key
+    ]
+    results = run_grid(tasks)
     out: Dict[int, Dict[str, float]] = {}
-    for bits in bits_per_key:
-        config = experiment_config(bloom_bits_per_key=bits)
-        spec_item = workloads.ro(num_operations=ops, key_space=key_space)
-        result = run_workload(spec_item, LDCPolicy, config=config)
+    for bits, task, result in zip(bits_per_key, tasks, results):
         out[bits] = {
             "block_reads": float(result.sstable_blocks_read),
             "bloom_skips": float(result.bloom_negative_skips),
             "reads": float(ops),
-            "filter_bytes_per_table": _mean_filter_bytes(config, key_space),
+            "filter_bytes_per_table": _mean_filter_bytes(task.config, key_space),
         }
     return out
 
@@ -405,14 +526,7 @@ def fig14_scalability(
 ) -> ExperimentOutput:
     """RWB at growing request counts (paper: 5–30 M; LDC holds +39–65%
     throughput and -43–47% compaction I/O throughout)."""
-    output = ExperimentOutput(name="fig14")
-    for count in request_counts:
-        key_space = max(1000, int(count * key_space_ratio))
-        spec_item = workloads.rwb(num_operations=count, key_space=key_space)
-        for policy_name, factory in BOTH_POLICIES:
-            result = run_workload(spec_item, factory, config=experiment_config())
-            output.rows.append(ComparisonRow(f"N={count}", policy_name, result))
-    return output
+    return _grid_output("fig14", _scaling_tasks(request_counts, key_space_ratio))
 
 
 # ----------------------------------------------------------------------
@@ -428,14 +542,25 @@ def fig15_space(
     frozen-region share is larger; the bench reports overhead alongside the
     bottom-level share to make the geometry dependence visible.
     """
-    output = ExperimentOutput(name="fig15")
+    return _grid_output("fig15", _scaling_tasks(request_counts, key_space_ratio))
+
+
+def _scaling_tasks(
+    request_counts: Sequence[int], key_space_ratio: float
+) -> List[GridTask]:
+    """The shared grid of Figs. 14/15: RWB at growing request counts."""
+    tasks = []
     for count in request_counts:
         key_space = max(1000, int(count * key_space_ratio))
         spec_item = workloads.rwb(num_operations=count, key_space=key_space)
         for policy_name, factory in BOTH_POLICIES:
-            result = run_workload(spec_item, factory, config=experiment_config())
-            output.rows.append(ComparisonRow(f"N={count}", policy_name, result))
-    return output
+            tasks.append(
+                GridTask(
+                    f"N={count}", spec_item, policy_name, factory,
+                    experiment_config(),
+                )
+            )
+    return tasks
 
 
 # ----------------------------------------------------------------------
@@ -445,18 +570,21 @@ def ablation_adaptive_threshold(
     ops: int = DEFAULT_OPS, key_space: int = DEFAULT_KEY_SPACE
 ) -> ExperimentOutput:
     """Fixed vs self-adaptive T_s across read/write mixes (§III-B.4)."""
-    output = ExperimentOutput(name="ablation_adaptive")
-    for mix_name in ("WH", "RWB", "RH"):
-        spec_item = workloads.TABLE_III[mix_name](
-            num_operations=ops, key_space=key_space
+    tasks = [
+        GridTask(
+            mix_name,
+            workloads.TABLE_III[mix_name](num_operations=ops, key_space=key_space),
+            label,
+            factory,
+            experiment_config(),
         )
+        for mix_name in ("WH", "RWB", "RH")
         for label, factory in (
             ("LDC-fixed", ldc_factory(adaptive=False)),
             ("LDC-adaptive", ldc_factory(adaptive=True)),
-        ):
-            result = run_workload(spec_item, factory, config=experiment_config())
-            output.rows.append(ComparisonRow(mix_name, label, result))
-    return output
+        )
+    ]
+    return _grid_output("ablation_adaptive", tasks)
 
 
 def ablation_tiered_tail(
@@ -488,15 +616,17 @@ def ablation_device_asymmetry(
     LDC trades reads for writes; on a symmetric device (write bandwidth ==
     read bandwidth) the trade buys less.
     """
-    output = ExperimentOutput(name="ablation_asymmetry")
     spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
-    for bandwidth in write_bandwidths:
-        profile = ENTERPRISE_PCIE.scaled(write_bandwidth_mbps=bandwidth)
-        for policy_name, factory in BOTH_POLICIES:
-            result = run_workload(
-                spec_item, factory, config=experiment_config(), profile=profile
-            )
-            output.rows.append(
-                ComparisonRow(f"w_bw={bandwidth:g}MB/s", policy_name, result)
-            )
-    return output
+    tasks = [
+        GridTask(
+            f"w_bw={bandwidth:g}MB/s",
+            spec_item,
+            policy_name,
+            factory,
+            experiment_config(),
+            ENTERPRISE_PCIE.scaled(write_bandwidth_mbps=bandwidth),
+        )
+        for bandwidth in write_bandwidths
+        for policy_name, factory in BOTH_POLICIES
+    ]
+    return _grid_output("ablation_asymmetry", tasks)

@@ -220,6 +220,6 @@ def run_workload(
 def _merge_recorders(*recorders: LatencyRecorder) -> LatencyRecorder:
     merged = LatencyRecorder()
     for recorder in recorders:
-        for value in recorder.values:
-            merged.record(value)
+        merged._values.extend(recorder.values)
+        merged.histogram.merge(recorder.histogram)
     return merged

@@ -6,24 +6,46 @@ matter twice over: lookups on an SSTable with linked slices consult the
 *frozen* files' filters to avoid reading slices needlessly (§III-B.3,
 Figs. 12c/f and 13).
 
-We use the standard double-hashing scheme ``h_i = h1 + i * h2`` with the two
-base hashes taken from the MD5 digest of the key — deterministic across
-processes (unlike Python's salted ``hash``) and cheap enough at simulation
-scale.
+We use the standard double-hashing scheme ``h_i = h1 + i * h2``.  The two
+base hashes are ``crc32(key)`` and ``adler32(key)`` — both C-implemented,
+standardized checksums, so the bit patterns are deterministic across
+processes and platforms (unlike Python's salted ``hash``) at a fraction of
+the cost of the MD5 digest this module used previously (~4x faster per
+probe set; see ``repro bench bloom_probe``).  CRC32 alone mixes well;
+Adler32 alone does not, but as the *step* of a double-hash whose base is a
+CRC it only has to decorrelate the probe sequence, and the measured
+false-positive rate sits at the theoretical optimum for both sequential
+and random keys (pinned by the golden tests).
+
+Construction is vectorized: probe positions for all keys are computed as
+one numpy array and OR-ed into the bit array in bulk, producing *bit-exact*
+the same filter as the scalar probe loop used for queries.
 """
 
 from __future__ import annotations
 
-import hashlib
 import math
+import zlib
 from typing import Iterable, Sequence
+
+import numpy as np
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_crc32 = zlib.crc32
+_adler32 = zlib.adler32
+
+#: Below this many keys the scalar build path wins over numpy call overhead.
+_VECTOR_BUILD_MIN = 8
 
 
 def _base_hashes(key: bytes) -> tuple[int, int]:
-    digest = hashlib.md5(key).digest()
-    h1 = int.from_bytes(digest[:8], "little")
-    h2 = int.from_bytes(digest[8:16], "little") | 1  # odd => full-period step
-    return h1, h2
+    """The ``(h1, h2)`` double-hash bases for ``key``.
+
+    ``h2`` is forced odd so the probe sequence has full period over any
+    power-of-two modulus and never degenerates to a single position.
+    """
+    return zlib.crc32(key), (zlib.adler32(key) << 1) | 1
 
 
 def optimal_hash_count(bits_per_key: float) -> int:
@@ -36,42 +58,84 @@ def optimal_hash_count(bits_per_key: float) -> int:
 
 
 class BloomFilter:
-    """An immutable-after-build Bloom filter over a set of byte keys."""
+    """An immutable-after-build Bloom filter over a set of byte keys.
 
-    __slots__ = ("_bits", "_nbits", "_nhashes", "bits_per_key")
+    A filter built with ``bits_per_key <= 0`` is *disabled* and answers
+    "maybe" for every probe; a filter built over an **empty key set** with
+    positive ``bits_per_key`` answers "definitely not" for every probe
+    (nothing was inserted, so nothing can be present).
+    """
+
+    __slots__ = ("_bits", "_nbits", "_nhashes", "_empty", "bits_per_key")
 
     def __init__(self, keys: Sequence[bytes], bits_per_key: int) -> None:
         self.bits_per_key = bits_per_key
         if bits_per_key <= 0 or not keys:
-            # A zero-size filter answers "maybe" for everything.
             self._bits = bytearray()
             self._nbits = 0
             self._nhashes = 0
+            self._empty = bits_per_key > 0
             return
         nbits = max(64, len(keys) * bits_per_key)
         self._nbits = nbits
         self._nhashes = optimal_hash_count(bits_per_key)
-        self._bits = bytearray((nbits + 7) // 8)
-        for key in keys:
-            self._add(key)
+        self._empty = False
+        if len(keys) >= _VECTOR_BUILD_MIN:
+            self._bits = self._build_vectorized(keys, nbits)
+        else:
+            self._bits = bytearray((nbits + 7) // 8)
+            for key in keys:
+                self._add(key)
+
+    def _build_vectorized(self, keys: Sequence[bytes], nbits: int) -> bytearray:
+        """Set all probe bits for ``keys`` in one numpy pass.
+
+        ``h1 < 2**32`` and ``h2 < 2**34``, so ``h1 + i*h2`` stays below
+        2**40 for every probe index ``i <= 30`` — int64 arithmetic is exact
+        and matches the scalar ``_add`` loop bit for bit.
+        """
+        crc32 = zlib.crc32
+        adler32 = zlib.adler32
+        h1 = np.fromiter(
+            (crc32(key) for key in keys), dtype=np.int64, count=len(keys)
+        )
+        h2 = np.fromiter(
+            ((adler32(key) << 1) | 1 for key in keys),
+            dtype=np.int64,
+            count=len(keys),
+        )
+        steps = np.arange(self._nhashes, dtype=np.int64)
+        positions = (h1[:, None] + h2[:, None] * steps[None, :]) % nbits
+        positions = positions.ravel()
+        bits = np.zeros((nbits + 7) // 8, dtype=np.uint8)
+        np.bitwise_or.at(
+            bits, positions >> 3, np.left_shift(1, positions & 7).astype(np.uint8)
+        )
+        return bytearray(bits.tobytes())
 
     def _add(self, key: bytes) -> None:
         h1, h2 = _base_hashes(key)
+        bits = self._bits
+        nbits = self._nbits
         for _ in range(self._nhashes):
-            bit = h1 % self._nbits
-            self._bits[bit >> 3] |= 1 << (bit & 7)
-            h1 = (h1 + h2) & 0xFFFFFFFFFFFFFFFF
+            bit = h1 % nbits
+            bits[bit >> 3] |= 1 << (bit & 7)
+            h1 = (h1 + h2) & _MASK64
 
     def may_contain(self, key: bytes) -> bool:
         """Return False only if ``key`` was definitely not inserted."""
-        if self._nbits == 0:
-            return True
-        h1, h2 = _base_hashes(key)
+        nbits = self._nbits
+        if nbits == 0:
+            return not self._empty
+        # _base_hashes inlined: this is the hottest call in the read path.
+        h1 = _crc32(key)
+        h2 = (_adler32(key) << 1) | 1
+        bits = self._bits
         for _ in range(self._nhashes):
-            bit = h1 % self._nbits
-            if not self._bits[bit >> 3] & (1 << (bit & 7)):
+            bit = h1 % nbits
+            if not bits[bit >> 3] & (1 << (bit & 7)):
                 return False
-            h1 = (h1 + h2) & 0xFFFFFFFFFFFFFFFF
+            h1 = (h1 + h2) & _MASK64
         return True
 
     @property

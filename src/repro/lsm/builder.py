@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, List
 
 from .config import LSMConfig
-from .record import KVRecord
+from .record import KVRecord, RECORD_OVERHEAD_BYTES
 from .sstable import SSTable
 from ..errors import EngineError
 
@@ -45,7 +45,9 @@ class SSTableBuilder:
             )
         self._last_key = record.key
         self._pending.append(record)
-        self._pending_bytes += record.encoded_size
+        self._pending_bytes += (
+            len(record.key) + len(record.value) + RECORD_OVERHEAD_BYTES
+        )
         if self._pending_bytes >= self._config.sstable_target_bytes:
             self._emit()
 
@@ -56,7 +58,11 @@ class SSTableBuilder:
     def _emit(self) -> None:
         if not self._pending:
             return
-        table = SSTable.from_records(self._next_file_id(), self._pending, self._config)
+        # The builder enforced strictly increasing keys on add(), so the
+        # pending list can transfer ownership without re-validation.
+        table = SSTable.from_records(
+            self._next_file_id(), self._pending, self._config, presorted=True
+        )
         self._outputs.append(table)
         self._pending = []
         self._pending_bytes = 0
@@ -97,21 +103,29 @@ def build_balanced(
     """
     if not records:
         return []
-    total = sum(record.encoded_size for record in records)
+    sizes = [
+        len(record.key) + len(record.value) + RECORD_OVERHEAD_BYTES
+        for record in records
+    ]
+    total = sum(sizes)
     nfiles = max(1, round(total / config.sstable_target_bytes))
     per_file = total / nfiles
     outputs: List[SSTable] = []
     chunk: List[KVRecord] = []
     chunk_bytes = 0
     emitted = 0
-    for record in records:
+    for record, size in zip(records, sizes):
         chunk.append(record)
-        chunk_bytes += record.encoded_size
+        chunk_bytes += size
         if chunk_bytes >= per_file and emitted < nfiles - 1:
-            outputs.append(SSTable.from_records(next_file_id(), chunk, config))
+            outputs.append(
+                SSTable.from_records(next_file_id(), chunk, config, presorted=True)
+            )
             chunk = []
             chunk_bytes = 0
             emitted += 1
     if chunk:
-        outputs.append(SSTable.from_records(next_file_id(), chunk, config))
+        outputs.append(
+            SSTable.from_records(next_file_id(), chunk, config, presorted=True)
+        )
     return outputs

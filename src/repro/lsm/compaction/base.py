@@ -95,6 +95,10 @@ class CompactionPolicy(ABC):
         write_before = stats.compaction_bytes_written
         start = db.clock.now()
         did_work = self.compact_one()
+        if not did_work:
+            # No round ran, so the compaction counters cannot have moved;
+            # skip the delta reads (this path runs once per user op).
+            return False
         bytes_read = stats.compaction_bytes_read - read_before
         bytes_written = stats.compaction_bytes_written - write_before
         if bytes_read + bytes_written > 0:

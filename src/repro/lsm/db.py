@@ -31,7 +31,7 @@ from .config import LSMConfig
 from .iterators import merge_records
 from .keys import clamp_range, key_successor
 from .memtable import MemTable
-from .record import KVRecord, delete_record, put_record
+from .record import KIND_DELETE, KVRecord, delete_record, put_record
 from .sstable import SSTable
 from .stats import (
     ACT_COMPACTION,
@@ -124,6 +124,12 @@ class DB:
         self._next_seq = 1
         self._next_file_id = 1
         self._closed = False
+        # Hot-path shortcut for per-operation counter bumps: one registry
+        # add instead of a property read-modify-write (same end state).
+        self._count = self.registry.add
+        # Stall triggers, cached: _maybe_stall runs before every write.
+        self._l0_stop = self.config.l0_stop_trigger
+        self._l0_slowdown = self.config.l0_slowdown_trigger
         self.policy.attach(self)
 
     # ------------------------------------------------------------------
@@ -235,11 +241,12 @@ class DB:
         start = self.clock.now()
         self._memtable.add(record)
         self.clock.advance(self.config.costs.memtable_insert_us)
-        if record.is_tombstone:
-            self.engine_stats.deletes += 1
+        count = self._count
+        if record.kind == KIND_DELETE:
+            count("engine.deletes")
         else:
-            self.engine_stats.puts += 1
-        self.engine_stats.user_bytes_written += record.encoded_size
+            count("engine.puts")
+        count("engine.user_bytes_written", record.encoded_size)
         self.engine_stats.charge_activity(ACT_WRITE, self.clock.now() - start)
         if self._memtable.approximate_bytes >= self.config.memtable_bytes:
             self.flush()
@@ -252,8 +259,8 @@ class DB:
         but the guard stays: a storm of Level-0 files delays writes
         (slowdown) or forces compaction before proceeding (stop).
         """
-        level0 = self.version.num_files(0)
-        if level0 >= self.config.l0_stop_trigger:
+        level0 = len(self.version.levels[0])
+        if level0 >= self._l0_stop:
             start = self.clock.now()
             self._run_compactions()
             duration = self.clock.now() - start
@@ -263,7 +270,7 @@ class DB:
                 EV_STALL, reason="l0_stop", level0_files=level0,
                 duration_us=duration,
             )
-        elif level0 >= self.config.l0_slowdown_trigger:
+        elif level0 >= self._l0_slowdown:
             self.clock.advance(self.config.l0_slowdown_delay_us)
             self.engine_stats.stall_events += 1
             self.engine_stats.stall_time_us += self.config.l0_slowdown_delay_us
@@ -310,8 +317,10 @@ class DB:
         difference behind the paper's tail-latency comparison (Fig. 8).
         """
         start = self.clock.now()
-        self.policy.compact_one_tracked()
-        self.engine_stats.charge_activity(ACT_COMPACTION, self.clock.now() - start)
+        if self.policy.compact_one_tracked():
+            self.engine_stats.charge_activity(
+                ACT_COMPACTION, self.clock.now() - start
+            )
 
     def _run_compactions(self) -> None:
         """Drain all due compaction work (Level-0 stop stall, close)."""
@@ -328,13 +337,13 @@ class DB:
         _check_key(key)
         self.policy.on_operation(False)
         start = self.clock.now()
-        self.engine_stats.gets += 1
+        self._count("engine.gets")
         record = self._lookup(key)
         self.engine_stats.charge_activity(ACT_READ, self.clock.now() - start)
         self._maintenance_step()
-        if record is None or record.is_tombstone:
+        if record is None or record.kind == KIND_DELETE:
             return None
-        self.engine_stats.get_hits += 1
+        self._count("engine.get_hits")
         return record.value
 
     def _lookup(self, key: bytes) -> Optional[KVRecord]:
@@ -343,10 +352,10 @@ class DB:
         record = self._memtable.get(key)
         if record is not None:
             return record
-        # Level 0: overlapping files, newest first.
-        for table in sorted(
-            self.version.files(0), key=lambda t: t.file_id, reverse=True
-        ):
+        # Level 0: overlapping files, newest first.  Files are installed
+        # by append with monotonically increasing ids, so reversed() gives
+        # newest-first without a per-lookup sort.
+        for table in reversed(self.version.files(0)):
             if not table.covers_key(key):
                 continue
             record = self._lookup_unit(key, table)
@@ -362,15 +371,12 @@ class DB:
                 table = self.version.find_responsible_file(level, key)
                 candidates = [] if table is None else [table]
             else:
-                candidates = sorted(
-                    (
-                        t
-                        for t in self.version.files(level)
-                        if t.covers_key(key)
-                    ),
-                    key=lambda t: t.file_id,
-                    reverse=True,
-                )
+                # Tiered levels are append-ordered like Level 0.
+                candidates = [
+                    t
+                    for t in reversed(self.version.files(level))
+                    if t.covers_key(key)
+                ]
             for table in candidates:
                 record = self._lookup_unit(key, table)
                 if record is not None:
@@ -395,7 +401,7 @@ class DB:
                     continue
                 self.clock.advance(costs.bloom_check_us)
                 if not piece.source.bloom.may_contain(key):
-                    self.engine_stats.bloom_negative_skips += 1
+                    self._count("engine.bloom_negative_skips")
                     continue
                 self._charge_point_read(piece.source, key)
                 record = piece.get(key)
@@ -409,7 +415,7 @@ class DB:
             return None
         self.clock.advance(costs.bloom_check_us)
         if not table.bloom.may_contain(key):
-            self.engine_stats.bloom_negative_skips += 1
+            self._count("engine.bloom_negative_skips")
             return None
         self._charge_point_read(table, key)
         record = table.get(key)
@@ -446,7 +452,7 @@ class DB:
                 nbytes=nbytes,
             )
         self.device.read(nbytes, USER_READ)
-        self.engine_stats.sstable_blocks_read += 1
+        self._count("engine.sstable_blocks_read")
         if cache is not None:
             cache.insert(table.file_id, block_index, nbytes)
 
@@ -632,8 +638,18 @@ class DB:
             raise EngineError("cannot recover without a WAL")
         records = self._wal.recover()
         self._memtable = MemTable(seed=self._seed)
-        for record in records:
-            self._memtable.add(record)
+        if records:
+            # Replaying one-at-a-time re-searches the skip list per record;
+            # instead sort by (key, seq), keep the newest version per key
+            # (exactly what per-record add() would have retained) and
+            # bulk-load the survivors at the skip-list tail.
+            ordered = sorted(records, key=lambda record: (record.key, record.seq))
+            newest = [
+                record
+                for record, nxt in zip(ordered, ordered[1:] + [None])
+                if nxt is None or nxt.key != record.key
+            ]
+            self._memtable.add_sorted_batch(newest)
         return len(records)
 
     def close(self) -> None:

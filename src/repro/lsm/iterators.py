@@ -4,6 +4,13 @@ Both range scans (merging the memtable, Level-0 files, deeper levels and —
 under LDC — linked slices) and compaction merges (Definition 2.4, LDC's
 merge phase) reduce to the same operation: merge several key-sorted record
 streams, keeping only the newest version of each user key.
+
+This is one of the simulator's hottest loops (see ``repro bench
+merge_throughput``), so the implementation trades a little clarity for
+speed: a single live source degenerates to plain iteration (no heap at
+all — the common case for scans over sparsely overlapping trees), and the
+multi-way path drives the heap through cached bound ``__next__`` methods
+with ``heapreplace`` (one sift) instead of push/pop pairs (two sifts).
 """
 
 from __future__ import annotations
@@ -19,28 +26,49 @@ def merge_records(sources: List[Iterable[KVRecord]]) -> Iterator[KVRecord]:
 
     Each source must be internally sorted by key with at most one record
     per key.  Across sources, the record with the highest sequence number
-    wins.  Tombstones are *not* filtered — callers decide whether deletes
-    may be dropped (only at the bottom of the tree) or must be preserved.
+    wins (ties — impossible for distinct engine mutations — fall to the
+    earliest source).  Tombstones are *not* filtered — callers decide
+    whether deletes may be dropped (only at the bottom of the tree) or
+    must be preserved.
     """
+    iterators: List[Iterator[KVRecord]] = []
     heap: List[tuple[bytes, int, int, KVRecord]] = []
-    iterators = [iter(source) for source in sources]
-    for index, iterator in enumerate(iterators):
+    for source in sources:
+        iterator = iter(source)
         first = next(iterator, None)
         if first is not None:
-            heapq.heappush(heap, (first.key, -first.seq, index, first))
+            heap.append((first.key, -first.seq, len(iterators), first))
+            iterators.append(iterator)
 
+    if not heap:
+        return
+    if len(heap) == 1:
+        # Single live source: records are already unique-keyed and sorted.
+        yield heap[0][3]
+        yield from iterators[0]
+        return
+
+    heapq.heapify(heap)
+    heappop = heapq.heappop
+    heapreplace = heapq.heapreplace
+    nexts = [iterator.__next__ for iterator in iterators]
     while heap:
-        key, _, index, record = heapq.heappop(heap)
-        # Refill from the winning source.
-        nxt = next(iterators[index], None)
-        if nxt is not None:
-            heapq.heappush(heap, (nxt.key, -nxt.seq, index, nxt))
+        key, _, index, record = heap[0]
+        try:
+            nxt = nexts[index]()
+        except StopIteration:
+            heappop(heap)
+        else:
+            heapreplace(heap, (nxt.key, -nxt.seq, index, nxt))
         # Drain older versions of the same key from other sources.
         while heap and heap[0][0] == key:
-            _, _, other_index, _ = heapq.heappop(heap)
-            refill = next(iterators[other_index], None)
-            if refill is not None:
-                heapq.heappush(heap, (refill.key, -refill.seq, other_index, refill))
+            other = heap[0][2]
+            try:
+                refill = nexts[other]()
+            except StopIteration:
+                heappop(heap)
+            else:
+                heapreplace(heap, (refill.key, -refill.seq, other, refill))
         yield record
 
 

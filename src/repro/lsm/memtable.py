@@ -9,7 +9,7 @@ reads), so overwriting in place is both correct and fast.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 from .record import KVRecord
 from .skiplist import SkipList
@@ -32,11 +32,24 @@ class MemTable:
 
     def add(self, record: KVRecord) -> None:
         """Insert a record, replacing any older version of the same key."""
-        previous = self._index.get(record.key)
+        previous = self._index.upsert(record.key, record)
         if previous is not None:
             self._bytes -= previous.encoded_size  # type: ignore[union-attr]
-        self._index.insert(record.key, record)
         self._bytes += record.encoded_size
+
+    def add_sorted_batch(self, records: Iterable[KVRecord]) -> int:
+        """Bulk-load records whose keys strictly increase past the tail.
+
+        Recovery fast path: links each record at the skip list's tail
+        instead of searching from the top.  Keys must be strictly
+        increasing and all greater than any key already buffered.
+        """
+        records = list(records)
+        count = self._index.extend_sorted(
+            (record.key, record) for record in records
+        )
+        self._bytes += sum(record.encoded_size for record in records)
+        return count
 
     def get(self, key: bytes) -> Optional[KVRecord]:
         """Return the newest buffered record for ``key`` (may be tombstone)."""

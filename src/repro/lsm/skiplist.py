@@ -43,6 +43,11 @@ class SkipList:
         self._head = _Node(None, None, MAX_HEIGHT)
         self._height = 1
         self._size = 0
+        # Scratch predecessor buffer reused across inserts.  Safe because
+        # _find_greater_or_equal fills every level < _height and insert
+        # overwrites the levels being promoted into; stale entries above
+        # the current height are never read.
+        self._prev: List[_Node] = [self._head] * MAX_HEIGHT
 
     def __len__(self) -> int:
         return self._size
@@ -74,24 +79,82 @@ class SkipList:
                     return nxt
                 level -= 1
 
-    def insert(self, key: bytes, value: object) -> bool:
-        """Insert or overwrite; return True if the key was new."""
-        prev: List[_Node] = [self._head] * MAX_HEIGHT
+    def _put(self, key: bytes, value: object) -> Tuple[bool, Optional[object]]:
+        """Insert or overwrite in one traversal.
+
+        Returns ``(was_new, previous_value)`` — the pair both public
+        entry points need, so neither pays a second top-down search.
+        """
+        prev = self._prev
         found = self._find_greater_or_equal(key, prev)
         if found is not None and found.key == key:
+            old = found.value
             found.value = value
-            return False
+            return False, old
         height = self._random_height()
         if height > self._height:
             for level in range(self._height, height):
                 prev[level] = self._head
             self._height = height
         node = _Node(key, value, height)
+        node_next = node.next
         for level in range(height):
-            node.next[level] = prev[level].next[level]
-            prev[level].next[level] = node
+            level_prev = prev[level]
+            node_next[level] = level_prev.next[level]
+            level_prev.next[level] = node
         self._size += 1
-        return True
+        return True, None
+
+    def insert(self, key: bytes, value: object) -> bool:
+        """Insert or overwrite; return True if the key was new."""
+        return self._put(key, value)[0]
+
+    def upsert(self, key: bytes, value: object) -> Optional[object]:
+        """Insert or overwrite; return the replaced value (None if new).
+
+        Indistinguishable outcomes when ``None`` is stored as a value —
+        callers that store ``None`` should use :meth:`insert` instead.
+        """
+        return self._put(key, value)[1]
+
+    def extend_sorted(self, pairs: Iterator[Tuple[bytes, object]]) -> int:
+        """Append pairs whose keys strictly increase past the current tail.
+
+        Bulk-load fast path (WAL recovery, tests): each pair is linked at
+        the tail through per-level finger pointers — O(1) amortised, no
+        top-down search.  Heights are drawn from the same seeded RNG as
+        :meth:`insert`, so bulk loads are just as deterministic.  Raises
+        ``ValueError`` if a key is not strictly greater than its
+        predecessor (including the pre-existing last key).
+        """
+        tails: List[_Node] = [self._head] * MAX_HEIGHT
+        node = self._head
+        for level in reversed(range(MAX_HEIGHT)):
+            nxt = node.next[level]
+            while nxt is not None:
+                node = nxt
+                nxt = node.next[level]
+            tails[level] = node
+        last_key = node.key
+        random_height = self._random_height
+        count = 0
+        for key, value in pairs:
+            if last_key is not None and key <= last_key:
+                raise ValueError(
+                    f"extend_sorted requires strictly increasing keys: "
+                    f"{key!r} after {last_key!r}"
+                )
+            height = random_height()
+            if height > self._height:
+                self._height = height
+            node = _Node(key, value, height)
+            for level in range(height):
+                tails[level].next[level] = node
+                tails[level] = node
+            last_key = key
+            count += 1
+        self._size += count
+        return count
 
     def get(self, key: bytes) -> Optional[object]:
         """Return the value stored under ``key``, or None."""

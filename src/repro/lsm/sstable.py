@@ -21,9 +21,11 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import List, Optional, Sequence, TYPE_CHECKING
 
+from itertools import accumulate
+
 from .bloom import BloomFilter
 from .config import LSMConfig
-from .record import KVRecord
+from .record import KVRecord, RECORD_OVERHEAD_BYTES
 from ..errors import EngineError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -52,6 +54,8 @@ class SSTable:
         "frozen",
         "refcount",
         "allowed_seeks",
+        "min_key",
+        "max_key",
     )
 
     def __init__(
@@ -60,29 +64,53 @@ class SSTable:
         records: Sequence[KVRecord],
         block_bytes: int,
         bloom_bits_per_key: int,
+        *,
+        presorted: bool = False,
     ) -> None:
+        """Build a file over ``records``.
+
+        ``presorted=True`` promises the records are already strictly
+        key-sorted with one version per key (true for every compaction or
+        flush output, which came out of a sorted merge) and, when
+        ``records`` is a list, transfers ownership of it — the caller must
+        not mutate it afterwards.  Sort validation is skipped on that path;
+        it is one of the hottest loops in the simulator.
+        """
         if not records:
             raise EngineError("an SSTable must contain at least one record")
         self.file_id = file_id
-        self._records: List[KVRecord] = list(records)
-        self._keys: List[bytes] = [record.key for record in self._records]
-        for left, right in zip(self._keys, self._keys[1:]):
-            if left >= right:
-                raise EngineError(
-                    f"SSTable records must be strictly key-sorted; "
-                    f"{left!r} !< {right!r}"
-                )
-        # Prefix sums of encoded sizes: _size_prefix[i] is the total size
-        # of records[0:i], making bytes_in_range O(log n).
-        prefix = [0]
-        running = 0
-        for record in self._records:
-            running += record.encoded_size
-            prefix.append(running)
-        self._size_prefix = prefix
-        self.data_size = running
-        self.bloom = BloomFilter(self._keys, bloom_bits_per_key)
-        self._block_starts, self._block_bytes = self._build_blocks(block_bytes)
+        if presorted and type(records) is list:
+            self._records = records
+        else:
+            self._records = list(records)
+        records_list = self._records
+        keys: List[bytes] = [record.key for record in records_list]
+        self._keys = keys
+        if not presorted:
+            for left, right in zip(keys, keys[1:]):
+                if left >= right:
+                    raise EngineError(
+                        f"SSTable records must be strictly key-sorted; "
+                        f"{left!r} !< {right!r}"
+                    )
+        # Per-record encoded sizes, computed once (len(key) + len(value) +
+        # overhead, inlined from KVRecord.encoded_size) and reused for the
+        # prefix sums and the block layout.  _size_prefix[i] is the total
+        # size of records[0:i], making bytes_in_range O(log n).
+        sizes = [
+            len(record.key) + len(record.value) + RECORD_OVERHEAD_BYTES
+            for record in records_list
+        ]
+        self._size_prefix = list(accumulate(sizes, initial=0))
+        self.data_size = self._size_prefix[-1]
+        # Plain attributes, not properties: the key range is immutable and
+        # covers_key / version routing read these millions of times.
+        self.min_key = keys[0]
+        self.max_key = keys[-1]
+        self.bloom = BloomFilter(keys, bloom_bits_per_key)
+        self._block_starts, self._block_bytes = self._build_blocks(
+            block_bytes, sizes
+        )
         # LevelDB's seek-compaction budget: after this many unproductive
         # probes the file becomes a compaction candidate (a file probed
         # often but rarely hit is cheaper merged than repeatedly seeked).
@@ -99,20 +127,33 @@ class SSTable:
 
     @classmethod
     def from_records(
-        cls, file_id: int, records: Sequence[KVRecord], config: LSMConfig
+        cls,
+        file_id: int,
+        records: Sequence[KVRecord],
+        config: LSMConfig,
+        *,
+        presorted: bool = False,
     ) -> "SSTable":
         """Build an SSTable using the config's block and Bloom settings."""
-        return cls(file_id, records, config.block_bytes, config.bloom_bits_per_key)
+        return cls(
+            file_id,
+            records,
+            config.block_bytes,
+            config.bloom_bits_per_key,
+            presorted=presorted,
+        )
 
-    def _build_blocks(self, block_bytes: int) -> tuple[List[int], List[int]]:
+    def _build_blocks(
+        self, block_bytes: int, record_sizes: List[int]
+    ) -> tuple[List[int], List[int]]:
         """Partition the record array into blocks of ~``block_bytes`` each."""
         starts: List[int] = []
         sizes: List[int] = []
         current_size = 0
-        for index, record in enumerate(self._records):
+        for index, size in enumerate(record_sizes):
             if current_size == 0:
                 starts.append(index)
-            current_size += record.encoded_size
+            current_size += size
             if current_size >= block_bytes:
                 sizes.append(current_size)
                 current_size = 0
@@ -123,14 +164,6 @@ class SSTable:
     # ------------------------------------------------------------------
     # Metadata
     # ------------------------------------------------------------------
-    @property
-    def min_key(self) -> bytes:
-        return self._keys[0]
-
-    @property
-    def max_key(self) -> bytes:
-        return self._keys[-1]
-
     @property
     def num_records(self) -> int:
         return len(self._records)

@@ -52,6 +52,20 @@ _FLOAT_COUNTERS = ("stall_time_us",)
 
 _ACTIVITY_PREFIX = "engine.activity"
 
+#: Prebuilt dotted keys for the known activities — charge_activity runs
+#: several times per operation and the f-string dominated its cost.
+_ACTIVITY_KEYS = {
+    activity: f"{_ACTIVITY_PREFIX}.{activity}"
+    for activity in (
+        ACT_COMPACTION,
+        ACT_FLUSH,
+        ACT_WAL,
+        ACT_WRITE,
+        ACT_READ,
+        ACT_SCAN,
+    )
+}
+
 
 class EngineStats:
     """Counters and activity-time accounting for one DB instance.
@@ -91,7 +105,13 @@ class EngineStats:
     # Activity-time accounting (Table I)
     # ------------------------------------------------------------------
     def charge_activity(self, activity: str, elapsed_us: float) -> None:
-        self.registry.add(f"{_ACTIVITY_PREFIX}.{activity}", elapsed_us)
+        key = _ACTIVITY_KEYS.get(activity)
+        if key is None:
+            key = f"{_ACTIVITY_PREFIX}.{activity}"
+        # Several calls per operation; EngineStats is a designated view
+        # over the registry, so bump the counter dict directly.
+        counters = self.registry._counters
+        counters[key] = counters.get(key, 0) + elapsed_us
 
     @property
     def activity_time_us(self) -> Dict[str, float]:

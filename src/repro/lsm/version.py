@@ -38,10 +38,26 @@ class VersionSet:
         # per level instead of a re-sum over every file.
         self._level_bytes: List[int] = [0] * config.max_levels
         self._level_linked_bytes: List[int] = [0] * config.max_levels
+        # Capacity schedule and L0 trigger, cached: level_score and
+        # pick_compaction_level run after every operation, and the
+        # exponentiation in level_capacity_bytes is pure config.
+        self._l0_trigger = config.l0_compaction_trigger
+        self._capacities: List[int] = [0] * config.max_levels
+        for level in range(1, config.max_levels):
+            self._capacities[level] = config.level_capacity_bytes(level)
+        # Per-level max-key arrays mirroring ``levels``; point lookups
+        # bisect these on every deeper-level probe, so they are maintained
+        # incrementally rather than rebuilt per query.
+        self._max_keys: List[List[bytes]] = [[] for _ in range(config.max_levels)]
         #: LevelDB-style round-robin cursors: per level, the max key of the
         #: last file chosen for compaction, so successive compactions sweep
         #: the key space instead of hammering one region.
         self.compact_pointer: Dict[int, bytes] = {}
+        # pick_compaction_level cache: scores only change when files move
+        # or linked bytes shift, yet the picker runs after every user
+        # operation — so cache the answer until the next mutation.
+        self._pick_cache: Optional[int] = None
+        self._pick_dirty = True
 
     # ------------------------------------------------------------------
     # Structure queries
@@ -79,6 +95,7 @@ class VersionSet:
         """Adjust a level's linked-slice byte counter (LDC link/merge)."""
         self._check_level(level)
         self._level_linked_bytes[level] += delta
+        self._pick_dirty = True
         if self._level_linked_bytes[level] < 0:
             raise EngineError(f"level {level} linked-bytes counter underflow")
 
@@ -103,8 +120,10 @@ class VersionSet:
             raise EngineError(f"cannot install frozen file {table.file_id} in a level")
         if table.file_id in self._level_of:
             raise EngineError(f"file {table.file_id} is already in the tree")
+        self._pick_dirty = True
         if level == 0 or not self.sorted_levels:
             self.levels[level].append(table)
+            self._max_keys[level].append(table.max_key)
             self._level_of[table.file_id] = level
             self._level_bytes[level] += table.data_size
             self._level_linked_bytes[level] += table.linked_bytes
@@ -124,19 +143,24 @@ class VersionSet:
                     f"in level {level}"
                 )
         files.insert(index, table)
+        self._max_keys[level].insert(index, table.max_key)
         self._level_of[table.file_id] = level
         self._level_bytes[level] += table.data_size
         self._level_linked_bytes[level] += table.linked_bytes
 
     def remove_file(self, level: int, table: SSTable) -> None:
         self._check_level(level)
+        files = self.levels[level]
         try:
-            self.levels[level].remove(table)
+            index = files.index(table)
         except ValueError:
             raise EngineError(
                 f"file {table.file_id} is not present in level {level}"
             ) from None
+        del files[index]
+        del self._max_keys[level][index]
         del self._level_of[table.file_id]
+        self._pick_dirty = True
         self._level_bytes[level] -= table.data_size
         self._level_linked_bytes[level] -= table.linked_bytes
 
@@ -180,14 +204,17 @@ class VersionSet:
         return result
 
     def find_file(self, level: int, key: bytes) -> Optional[SSTable]:
-        """The unique file in a sorted level whose range may contain ``key``."""
-        self._check_level(level)
+        """The unique file in a sorted level whose range may contain ``key``.
+
+        Runs once per level per point lookup; bounds checking is left to
+        the list indexing itself.
+        """
         if level == 0 or not self.sorted_levels:
             raise EngineError("find_file is undefined for overlapping levels")
         files = self.levels[level]
         if not files:
             return None
-        index = bisect_left([f.max_key for f in files], key)
+        index = bisect_left(self._max_keys[level], key)
         if index < len(files) and files[index].min_key <= key:
             return files[index]
         return None
@@ -203,7 +230,6 @@ class VersionSet:
         route by responsibility, not by raw range, or gap keys would skip
         the slices holding their newest versions.
         """
-        self._check_level(level)
         if level == 0 or not self.sorted_levels:
             raise EngineError(
                 "find_responsible_file is undefined for overlapping levels"
@@ -211,7 +237,7 @@ class VersionSet:
         files = self.levels[level]
         if not files:
             return None
-        index = bisect_left([f.max_key for f in files], key)
+        index = bisect_left(self._max_keys[level], key)
         if index < len(files):
             return files[index]
         return files[-1]
@@ -228,23 +254,37 @@ class VersionSet:
         schedule (Definition 2.5).
         """
         if level == 0:
-            return len(self.levels[0]) / self._config.l0_compaction_trigger
-        capacity = self._config.level_capacity_bytes(level)
-        return self.level_data_size(level) / capacity
+            return len(self.levels[0]) / self._l0_trigger
+        return self.level_data_size(level) / self._capacities[level]
 
     def pick_compaction_level(self) -> Optional[int]:
         """Level most in need of compaction, or None when all fit.
 
         The bottom level never initiates a compaction: there is nowhere
-        lower to push data.
+        lower to push data.  Runs after every maintenance step, so the
+        scoring is inlined over the cached byte counters and the result is
+        memoised until the next structural mutation.
         """
+        if not self._pick_dirty:
+            return self._pick_cache
         best_level: Optional[int] = None
         best_score = 1.0
-        for level in range(self.num_levels - 1):
-            score = self.level_score(level)
+        last = self.num_levels - 1
+        if last > 0:
+            score = len(self.levels[0]) / self._l0_trigger
+            if score >= best_score:
+                best_score = score
+                best_level = 0
+        level_bytes = self._level_bytes
+        linked_bytes = self._level_linked_bytes
+        capacities = self._capacities
+        for level in range(1, last):
+            score = (level_bytes[level] + linked_bytes[level]) / capacities[level]
             if score >= best_score:
                 best_score = score
                 best_level = level
+        self._pick_cache = best_level
+        self._pick_dirty = False
         return best_level
 
     def pick_file_round_robin(self, level: int) -> SSTable:
@@ -286,6 +326,12 @@ class VersionSet:
             if table.frozen:
                 raise EngineError(
                     f"frozen file {table.file_id} is still inside the tree"
+                )
+        for level in range(self.num_levels):
+            mirror = [table.max_key for table in self.levels[level]]
+            if mirror != self._max_keys[level]:
+                raise EngineError(
+                    f"level {level} max-key mirror out of sync with files"
                 )
         for level in range(self.num_levels):
             data = sum(table.data_size for table in self.levels[level])

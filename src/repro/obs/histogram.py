@@ -38,7 +38,12 @@ class LatencyHistogram:
     """
 
     __slots__ = ("growth", "min_value_us", "_log_growth", "_buckets",
-                 "count", "total", "_min", "_max")
+                 "count", "total", "_min", "_max", "_index_cache")
+
+    #: Bound on the value->bucket-index memo (distinct latencies in a
+    #: simulated run are few — costs are fixed constants — but arbitrary
+    #: callers must not grow it without limit).
+    _INDEX_CACHE_MAX = 4096
 
     def __init__(self, growth: float = 1.05, min_value_us: float = 0.5) -> None:
         if growth <= 1.0:
@@ -49,6 +54,7 @@ class LatencyHistogram:
         self.min_value_us = min_value_us
         self._log_growth = math.log(growth)
         self._buckets: Dict[int, int] = {}
+        self._index_cache: Dict[float, int] = {}
         self.count = 0
         self.total = 0.0
         self._min = math.inf
@@ -82,8 +88,22 @@ class LatencyHistogram:
 
     def record(self, value: float) -> None:
         """Add one sample."""
-        index = self.bucket_index(value)
-        self._buckets[index] = self._buckets.get(index, 0) + 1
+        # bucket_index inlined and memoised: this runs once per simulated
+        # operation, and a simulation's latencies are sums of a few fixed
+        # cost constants, so distinct values are rare.
+        index = self._index_cache.get(value)
+        if index is None:
+            if value <= self.min_value_us:
+                if value < 0:
+                    raise ReproError(f"negative latency {value!r}")
+                index = 0
+            else:
+                ratio = math.log(value / self.min_value_us) / self._log_growth
+                index = max(1, int(math.ceil(ratio - 1e-9)))
+            if len(self._index_cache) < self._INDEX_CACHE_MAX:
+                self._index_cache[value] = index
+        buckets = self._buckets
+        buckets[index] = buckets.get(index, 0) + 1
         self.count += 1
         self.total += value
         if value < self._min:

@@ -44,7 +44,8 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def add(self, key: str, amount: Number = 1) -> None:
         """Increment counter ``key`` by ``amount`` (creating it at zero)."""
-        self._counters[key] = self._counters.get(key, 0) + amount
+        counters = self._counters
+        counters[key] = counters.get(key, 0) + amount
 
     def set_counter(self, key: str, value: Number) -> None:
         """Overwrite counter ``key`` (used by the legacy-view setters)."""

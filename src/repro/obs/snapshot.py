@@ -46,6 +46,15 @@ class MetricsSnapshot:
         object.__setattr__(self, "counters", MappingProxyType(dict(self.counters)))
         object.__setattr__(self, "gauges", MappingProxyType(dict(self.gauges)))
 
+    def __reduce__(self):
+        # MappingProxyType cannot be pickled; rebuild from plain dicts so
+        # snapshots survive the trip back from worker processes (the
+        # parallel experiment grid ships whole RunResults across).
+        return (
+            self.__class__,
+            (self.t_us, dict(self.counters), dict(self.gauges)),
+        )
+
     @classmethod
     def capture(cls, registry: "MetricsRegistry", t_us: float) -> "MetricsSnapshot":
         """Snapshot ``registry`` at virtual time ``t_us``."""

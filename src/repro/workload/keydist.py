@@ -76,11 +76,14 @@ class ZipfKeys:
             self._perm = perm_rng.permutation(key_space)
         else:
             self._perm = np.arange(key_space)
+        # Plain-int copy for sample(): indexing a Python list returns an
+        # int directly, skipping a numpy scalar round-trip per draw.
+        self._perm_list = self._perm.tolist()
 
     def sample(self) -> int:
         u = self._rng.random()
         rank = int(np.searchsorted(self._cdf, u, side="left"))
-        return int(self._perm[rank])
+        return self._perm_list[rank]
 
     def probability_of_rank(self, rank: int) -> float:
         """P(rank) for tests (1-based rank)."""

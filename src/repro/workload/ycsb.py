@@ -34,6 +34,11 @@ class Operation(NamedTuple):
     scan_length: int = 0
 
 
+#: Hard cap on the per-generator encoded-key memo so enormous key spaces
+#: cannot balloon memory (1M keys x ~20 bytes is a few tens of MB at most).
+_KEY_CACHE_MAX = 1 << 20
+
+
 class WorkloadGenerator:
     """Deterministic operation stream for one workload spec.
 
@@ -62,17 +67,27 @@ class WorkloadGenerator:
             spec.distribution, spec.key_space, spec.zipf_constant, self._key_rng
         )
         self._value_counter = 0
+        # Skewed workloads re-encode the same hot keys constantly; memoise
+        # the encodings (values are immutable bytes, sharing is safe).
+        self._key_cache: dict = {}
+        self._value_pad = b"x" * spec.value_bytes
 
     # ------------------------------------------------------------------
     # Encoding
     # ------------------------------------------------------------------
     def encode_key(self, index: int) -> bytes:
         """Map a key index to its fixed-width byte encoding."""
+        cached = self._key_cache.get(index)
+        if cached is not None:
+            return cached
         if not 0 <= index < self.spec.key_space:
             raise WorkloadError(
                 f"key index {index} outside [0, {self.spec.key_space})"
             )
-        return str(index).zfill(self.spec.key_bytes).encode("ascii")
+        key = str(index).zfill(self.spec.key_bytes).encode("ascii")
+        if len(self._key_cache) < _KEY_CACHE_MAX:
+            self._key_cache[index] = key
+        return key
 
     def decode_key(self, key: bytes) -> int:
         """Inverse of :meth:`encode_key`."""
@@ -81,10 +96,11 @@ class WorkloadGenerator:
     def make_value(self) -> bytes:
         """A fresh deterministic value of the configured size."""
         self._value_counter += 1
-        stamp = (f"v{self._value_counter:08d}").encode("ascii")
-        if len(stamp) >= self.spec.value_bytes:
-            return stamp[: self.spec.value_bytes]
-        return stamp + b"x" * (self.spec.value_bytes - len(stamp))
+        stamp = b"v%08d" % self._value_counter
+        value_bytes = self.spec.value_bytes
+        if len(stamp) >= value_bytes:
+            return stamp[:value_bytes]
+        return stamp + self._value_pad[: value_bytes - len(stamp)]
 
     # ------------------------------------------------------------------
     # Streams
@@ -105,24 +121,31 @@ class WorkloadGenerator:
     def operations(self) -> Iterator[Operation]:
         """The measured phase: ``num_operations`` requests per the spec."""
         spec = self.spec
+        sample = self._dist.sample
+        encode_key = self.encode_key
+        make_value = self.make_value
+        random = self._op_rng.random
+        write_ratio = spec.write_ratio
+        delete_ratio = spec.delete_ratio
+        scans = spec.query_type == "scan"
+        scan_length = spec.scan_length
+        latest = self._dist if isinstance(self._dist, LatestKeys) else None
         for _ in range(spec.num_operations):
-            index = self._sample_index()
-            key = self.encode_key(index)
-            if self._op_rng.random() < spec.write_ratio:
-                if spec.delete_ratio and self._op_rng.random() < spec.delete_ratio:
+            key = encode_key(sample())
+            if random() < write_ratio:
+                if delete_ratio and random() < delete_ratio:
                     yield Operation(OP_DELETE, key)
                 else:
-                    yield Operation(OP_PUT, key, self.make_value())
-            elif spec.query_type == "scan":
-                yield Operation(OP_SCAN, key, scan_length=spec.scan_length)
+                    yield Operation(OP_PUT, key, make_value())
+            elif scans:
+                yield Operation(OP_SCAN, key, scan_length=scan_length)
             else:
                 yield Operation(OP_GET, key)
-            if isinstance(self._dist, LatestKeys):
-                self._dist.population = min(
-                    self.spec.key_space, self._dist.population + 1
-                )
+            if latest is not None:
+                latest.population = min(spec.key_space, latest.population + 1)
 
     def _sample_index(self) -> int:
+        """One draw from the key distribution (kept as a test seam)."""
         return self._dist.sample()
 
 

@@ -58,7 +58,7 @@ class TestDelayedCompaction:
         ):
             db = DB(config=tiny_config, policy=policy)
             fill(db, 8000, 2000, seed=17)
-            rounds = db.stats.round_bytes
+            rounds = db.engine_stats.round_bytes
             results[name] = {
                 "count": len(rounds),
                 "max": max(rounds, default=0),

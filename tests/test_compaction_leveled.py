@@ -25,7 +25,7 @@ def fill(db: DB, count: int, key_space: int, seed: int = 1, value_bytes: int = 4
 class TestLeveledCompaction:
     def test_compactions_happen_under_load(self, udc_db):
         fill(udc_db, 2000, 500)
-        assert udc_db.stats.compaction_count + udc_db.stats.trivial_moves > 0
+        assert udc_db.engine_stats.compaction_count + udc_db.engine_stats.trivial_moves > 0
 
     def test_level0_stays_bounded(self, udc_db):
         fill(udc_db, 3000, 800)
@@ -63,7 +63,7 @@ class TestLeveledCompaction:
         db = DB(config=tiny_config, policy=LeveledCompaction())
         for index in range(3000):
             db.put(key_of(index), b"v" * 40)  # strictly increasing keys
-        assert db.stats.trivial_moves > 0
+        assert db.engine_stats.trivial_moves > 0
 
     def test_deletions_survive_compaction(self, udc_db):
         model = fill(udc_db, 2000, 400)

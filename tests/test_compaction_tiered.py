@@ -73,6 +73,6 @@ class TestTieredCompaction:
         for name, policy in (("tiered", TieredCompaction()), ("ldc", LDCPolicy())):
             db = DB(config=tiny_config, policy=policy)
             fill(db, 6000, 1500, seed=11)
-            compactions = max(1, db.stats.compaction_count)
+            compactions = max(1, db.engine_stats.compaction_count)
             sizes[name] = db.device.stats.compaction_bytes_total / compactions
         assert sizes["tiered"] > sizes["ldc"]

@@ -25,7 +25,7 @@ def fill(db: DB, count: int, key_space: int, seed: int = 1, value_bytes: int = 4
 class TestLinkPhase:
     def test_links_happen_under_load(self, ldc_db):
         fill(ldc_db, 3000, 800)
-        assert ldc_db.stats.link_count > 0
+        assert ldc_db.engine_stats.link_count > 0
 
     def test_frozen_files_leave_the_tree(self, ldc_db):
         fill(ldc_db, 3000, 800)
@@ -97,7 +97,7 @@ class TestLinkPhase:
 class TestMergePhase:
     def test_merges_triggered_by_threshold(self, ldc_db):
         fill(ldc_db, 4000, 1000)
-        assert ldc_db.stats.merge_count > 0
+        assert ldc_db.engine_stats.merge_count > 0
 
     def test_merge_without_links_rejected(self, ldc_db):
         fill(ldc_db, 500, 200)
@@ -211,7 +211,7 @@ class TestSpaceManagement:
         config = tiny_config.with_overrides(frozen_space_limit_ratio=0.05)
         db = DB(config=config, policy=LDCPolicy())
         fill(db, 4000, 1000)
-        assert db.stats.forced_merges > 0
+        assert db.engine_stats.forced_merges > 0
 
     def test_extra_space_is_frozen_region(self, ldc_db):
         fill(ldc_db, 2000, 500)
@@ -241,7 +241,7 @@ class TestThresholdConfiguration:
         for threshold in (2, 16):
             db = DB(config=tiny_config, policy=LDCPolicy(threshold=threshold))
             fill(db, 4000, 1000, seed=8)
-            counts[threshold] = db.stats.merge_count
+            counts[threshold] = db.engine_stats.merge_count
         assert counts[2] > counts[16]
 
 

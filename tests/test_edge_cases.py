@@ -48,7 +48,7 @@ class TestMemtableBoundary:
         # Each record is 12 + 38 + 13 = 63 bytes; 16 records = 1008 >= 1000.
         for index in range(16):
             db.put(key_of(index), b"v" * 38)
-        assert db.stats.flush_count == 1
+        assert db.engine_stats.flush_count == 1
         assert db.get(key_of(0)) == b"v" * 38
 
     def test_single_giant_value_flushes_immediately(self):
@@ -57,7 +57,7 @@ class TestMemtableBoundary:
         )
         db = DB(config=config, policy=LeveledCompaction())
         db.put(b"big", b"v" * 5000)
-        assert db.stats.flush_count == 1
+        assert db.engine_stats.flush_count == 1
         assert db.get(b"big") == b"v" * 5000
 
 

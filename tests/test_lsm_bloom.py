@@ -19,9 +19,20 @@ class TestBasics:
         assert bloom.may_contain(b"anything")
         assert bloom.size_bytes == 0
 
-    def test_empty_keyset(self):
+    def test_empty_keyset_answers_definitely_not(self):
+        """An enabled filter over no keys can rule out every probe.
+
+        Nothing was inserted, so every "maybe" would be a false positive;
+        answering False is both allowed and strictly better.
+        """
         bloom = BloomFilter([], bits_per_key=10)
-        assert bloom.may_contain(b"x")  # degenerate filter says maybe
+        assert not bloom.may_contain(b"x")
+        assert bloom.size_bytes == 0
+
+    def test_empty_keyset_with_disabled_filter_stays_maybe(self):
+        """bits_per_key=0 disables filtering entirely, even with no keys."""
+        bloom = BloomFilter([], bits_per_key=0)
+        assert bloom.may_contain(b"x")
 
     def test_size_scales_with_bits_per_key(self):
         keyset = [f"key{i}".encode() for i in range(1000)]

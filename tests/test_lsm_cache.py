@@ -124,7 +124,7 @@ class TestCacheInEngine:
             for _ in range(400):
                 db.get(key_of(3))  # maximally hot key
             timings[cache_bytes] = db.clock.now() - start
-            reads[cache_bytes] = db.stats.sstable_blocks_read
+            reads[cache_bytes] = db.engine_stats.sstable_blocks_read
         assert timings[64 * 1024] < timings[0]
         assert reads[64 * 1024] < reads[0]
 

@@ -79,10 +79,10 @@ class TestRoundGranularity:
         rng = random.Random(3)
         for index in range(3000):
             db.put(str(rng.randrange(800)).zfill(12).encode(), b"v" * 40)
-        assert len(db.stats.round_bytes) > 0
-        assert db.stats.max_round_bytes > 0
+        assert len(db.engine_stats.round_bytes) > 0
+        assert db.engine_stats.max_round_bytes > 0
         # Every recorded round moved real compaction bytes.
-        assert all(nbytes > 0 for nbytes in db.stats.round_bytes)
-        assert sum(db.stats.round_bytes) <= (
+        assert all(nbytes > 0 for nbytes in db.engine_stats.round_bytes)
+        assert sum(db.engine_stats.round_bytes) <= (
             db.device.stats.compaction_bytes_total
         )

@@ -1,0 +1,199 @@
+"""Golden determinism tests guarding the simulation fast path.
+
+The hot-path optimizations (cheap Bloom hashing, the k-way merge rewrite,
+batched SSTable construction, skip-list bulk loads, workload-generator
+memoization) are only admissible because they leave the *simulated* results
+bit-identical: same seeds must keep producing the same virtual time, the
+same device bytes and the same compaction counts.  These tests pin those
+results to literal golden values so any future "optimization" that quietly
+shifts the simulation fails here, not in a reproduction figure.
+
+Two golden layers:
+
+* **Bloom bit patterns** — the filter over a fixed key set must hash to the
+  same bytes on every platform and process (crc32/adler32 are standardized,
+  and the vectorized build path must stay bit-exact with the scalar probe
+  loop);
+* **End-to-end metric snapshots** — a small RWB run under UDC and LDC must
+  reproduce pinned virtual-elapsed time, I/O byte totals and maintenance
+  counters exactly.
+
+If a PR *intends* to change simulated behaviour (new cost model, policy
+change), regenerate the literals below and say so in the PR description —
+that is the contract.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.harness import experiments
+from repro.lsm import bloom
+from repro.lsm.bloom import BloomFilter, _base_hashes
+from repro.workload import spec as workloads
+
+# ----------------------------------------------------------------------
+# Golden values.  Regenerate ONLY for an intentional simulation change:
+#   PYTHONPATH=src python tests/test_perf_golden.py --regen
+# ----------------------------------------------------------------------
+GOLDEN_BLOOM_SHA256 = (
+    "8d3ff37179e1653ccdd7987129db68b97ab830b1c000664b320c1c7396bd9700"
+)
+GOLDEN_BLOOM_SIZE_BYTES = 625
+GOLDEN_BLOOM_HASH_COUNT = 7
+
+GOLDEN_BASE_HASHES = {
+    b"00000000000000000000": (3297067555, 1323829123),
+    b"key-42": (3615243989, 252445627),
+    b"\x00\x01\x02": (139757951, 917513),
+}
+
+GOLDEN_RUN_OPS = 2500
+GOLDEN_RUN_KEYS = 1000
+
+GOLDEN_END_TO_END = {
+    "UDC": {
+        "elapsed_us": 77335.06300001382,
+        "total_write_bytes": 7767981,
+        "total_read_bytes": 11104938,
+        "compaction_read_bytes": 5985252,
+        "compaction_write_bytes": 5123898,
+        "flush_count": 20,
+        "compaction_count": 20,
+        "link_count": 0,
+        "merge_count": 0,
+        "space_bytes": 1460511,
+        "user_bytes_written": 1317303,
+        "sstable_blocks_read": 1229,
+        "bloom_negative_skips": 1772,
+    },
+    "LDC": {
+        "elapsed_us": 73226.38000002175,
+        "total_write_bytes": 6429618,
+        "total_read_bytes": 9974016,
+        "compaction_read_bytes": 4572126,
+        "compaction_write_bytes": 3785535,
+        "flush_count": 20,
+        "compaction_count": 35,
+        "link_count": 36,
+        "merge_count": 35,
+        "space_bytes": 2112318,
+        "user_bytes_written": 1317303,
+        "sstable_blocks_read": 1292,
+        "bloom_negative_skips": 5115,
+    },
+}
+
+_POLICIES = {"UDC": experiments.udc_factory, "LDC": experiments.LDCPolicy}
+
+
+def _golden_keyset():
+    return [str(index).zfill(16).encode("ascii") for index in range(500)]
+
+
+def _snapshot(result) -> dict:
+    return {
+        "elapsed_us": result.elapsed_us,
+        "total_write_bytes": result.total_write_bytes,
+        "total_read_bytes": result.total_read_bytes,
+        "compaction_read_bytes": result.compaction_read_bytes,
+        "compaction_write_bytes": result.compaction_write_bytes,
+        "flush_count": result.flush_count,
+        "compaction_count": result.compaction_count,
+        "link_count": result.link_count,
+        "merge_count": result.merge_count,
+        "space_bytes": result.space_bytes,
+        "user_bytes_written": result.user_bytes_written,
+        "sstable_blocks_read": result.sstable_blocks_read,
+        "bloom_negative_skips": result.bloom_negative_skips,
+    }
+
+
+def _run(policy_name: str):
+    spec = workloads.rwb(
+        num_operations=GOLDEN_RUN_OPS, key_space=GOLDEN_RUN_KEYS
+    )
+    return experiments.run_workload(
+        spec, _POLICIES[policy_name], config=experiments.experiment_config()
+    )
+
+
+class TestBloomGolden:
+    def test_base_hashes_pinned(self):
+        """The double-hash bases are platform-independent constants."""
+        for key, expected in GOLDEN_BASE_HASHES.items():
+            assert _base_hashes(key) == expected
+
+    def test_bit_pattern_pinned(self):
+        """The whole filter byte array matches the golden digest."""
+        bf = BloomFilter(_golden_keyset(), bits_per_key=10)
+        assert bf.size_bytes == GOLDEN_BLOOM_SIZE_BYTES
+        assert bf.hash_count == GOLDEN_BLOOM_HASH_COUNT
+        digest = hashlib.sha256(bytes(bf._bits)).hexdigest()
+        assert digest == GOLDEN_BLOOM_SHA256
+
+    def test_vectorized_build_matches_scalar(self, monkeypatch):
+        """Both construction paths must produce bit-identical filters."""
+        keys = _golden_keyset()
+        vectorized = BloomFilter(keys, bits_per_key=10)
+        monkeypatch.setattr(bloom, "_VECTOR_BUILD_MIN", 10**9)
+        scalar = BloomFilter(keys, bits_per_key=10)
+        assert bytes(vectorized._bits) == bytes(scalar._bits)
+
+    def test_fpr_within_theory_bounds(self):
+        """Measured FPR stays near the theoretical optimum for the sizing.
+
+        The cheap hash pair is only acceptable if it does not degrade
+        filter quality: allow at most 2x theory at 10 bits/key, for both
+        sequential (zero-padded decimal) and structured-prefix keys.
+        """
+        theory = bloom.theoretical_fpr(10)
+        members = _golden_keyset()
+        absent = [
+            str(index).zfill(16).encode("ascii") for index in range(10_000, 30_000)
+        ]
+        bf = BloomFilter(members, bits_per_key=10)
+        assert bf.false_positive_rate(absent) < 2 * theory
+        prefixed = [b"user:" + key for key in members]
+        prefixed_absent = [b"user:" + key for key in absent]
+        bf2 = BloomFilter(prefixed, bits_per_key=10)
+        assert bf2.false_positive_rate(prefixed_absent) < 2 * theory
+
+    def test_no_false_negatives_on_golden_set(self):
+        bf = BloomFilter(_golden_keyset(), bits_per_key=10)
+        assert all(bf.may_contain(key) for key in _golden_keyset())
+
+
+class TestEndToEndGolden:
+    """UDC and LDC runs must reproduce the pinned metric snapshots exactly."""
+
+    @pytest.mark.parametrize("policy_name", ["UDC", "LDC"])
+    def test_metrics_byte_identical(self, policy_name):
+        result = _run(policy_name)
+        assert _snapshot(result) == GOLDEN_END_TO_END[policy_name]
+
+    def test_runs_are_process_deterministic(self):
+        """Two runs in the same process agree with each other (and golden)."""
+        first = _snapshot(_run("LDC"))
+        second = _snapshot(_run("LDC"))
+        assert first == second == GOLDEN_END_TO_END["LDC"]
+
+
+def _regen() -> None:  # pragma: no cover - maintenance helper
+    import json
+
+    bf = BloomFilter(_golden_keyset(), bits_per_key=10)
+    print("GOLDEN_BLOOM_SHA256 =", repr(hashlib.sha256(bytes(bf._bits)).hexdigest()))
+    print("GOLDEN_BLOOM_SIZE_BYTES =", bf.size_bytes)
+    print("GOLDEN_BLOOM_HASH_COUNT =", bf.hash_count)
+    for key in GOLDEN_BASE_HASHES:
+        print("base_hashes", key, _base_hashes(key))
+    for policy_name in _POLICIES:
+        print(policy_name, json.dumps(_snapshot(_run(policy_name)), indent=4))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()

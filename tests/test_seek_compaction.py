@@ -80,7 +80,7 @@ class TestSeekTriggeredCompaction:
         table = db.version.files(level)[0]
         file_id = table.file_id
         probes = table.allowed_seeks
-        compactions_before = db.stats.compaction_count + db.stats.trivial_moves
+        compactions_before = db.engine_stats.compaction_count + db.engine_stats.trivial_moves
         for _ in range(probes + 5):
             db.get(key_of(5) + b"x")  # miss inside the table's range
         # The over-probed file must have been compacted (merged away) or
@@ -91,7 +91,7 @@ class TestSeekTriggeredCompaction:
         )
         assert moved
         assert (
-            db.stats.compaction_count + db.stats.trivial_moves
+            db.engine_stats.compaction_count + db.engine_stats.trivial_moves
             > compactions_before
         )
 
