@@ -14,6 +14,11 @@ The library provides:
 * :mod:`repro.model` — the analytical performance model of §II–III;
 * :mod:`repro.harness` — virtual-time measurement (latency percentiles,
   throughput, compaction I/O) and per-figure experiment entry points;
+* :mod:`repro.shard` — the sharded multi-store engine:
+  :class:`~repro.shard.db.ShardedDB` partitions the keyspace across N
+  independent stores (hash or range) behind the single-store API, and
+  :func:`~repro.shard.runner.run_sharded_workload` executes workloads
+  shard-parallel with bit-identical deterministic aggregation;
 * :mod:`repro.obs` — the observability layer: structured event tracing
   (:class:`~repro.obs.tracer.Tracer` with ring-buffer and JSON-lines
   sinks), the metrics registry behind every counter, frozen diffable
@@ -58,6 +63,13 @@ from .obs import (
     TraceEvent,
     Tracer,
 )
+from .shard import (
+    HashPartitioner,
+    RangePartitioner,
+    ShardedDB,
+    ShardedSnapshot,
+    run_sharded_workload,
+)
 from .ssd import (
     BALANCED_FLASH,
     ENTERPRISE_PCIE,
@@ -80,6 +92,11 @@ __all__ = [
     "LeveledCompaction",
     "TieredCompaction",
     "DelayedCompaction",
+    "ShardedDB",
+    "ShardedSnapshot",
+    "HashPartitioner",
+    "RangePartitioner",
+    "run_sharded_workload",
     "Slice",
     "FrozenRegion",
     "AdaptiveThreshold",

@@ -8,6 +8,8 @@ Usage::
     python -m repro describe                   # quick engine demo + describe()
     python -m repro trace WO --policy ldc --trace-out run.jsonl
     python -m repro bench --quick              # wall-clock perf suite
+    python -m repro bench --compare BENCH_a.json BENCH_b.json
+    python -m repro run RWB --shards 4 --workers 4   # sharded execution
 
 The heavy lifting lives in :mod:`repro.harness.experiments`; this module
 maps experiment names to those entry points and prints their results as
@@ -122,6 +124,28 @@ def _counts_runner(fn: Callable[..., experiments.ExperimentOutput]):
     return run
 
 
+def _run_shard_scaling(ops: int, keys: int) -> None:
+    out = experiments.shard_scaling(ops=ops, key_space=keys)
+    rows = [
+        (
+            count,
+            round(data["throughput_ops_s"]),
+            round(data["write_amplification"], 2),
+            round(data["compaction_mib"], 1),
+            round(data["p999_us"], 1),
+            round(data["wall_s"], 3),
+        )
+        for count, data in out.items()
+    ]
+    print(
+        format_table(
+            ["shards", "ops/s", "write amp", "compact MiB", "p99.9 us", "wall s"],
+            rows,
+            title="shard scaling (RWB, UDC per shard)",
+        )
+    )
+
+
 def _run_describe(ops: int, keys: int) -> None:
     import random
 
@@ -210,6 +234,128 @@ def run_trace(
     return 0
 
 
+def run_sharded_cli(
+    workload: Optional[str],
+    policy: str,
+    ops: int,
+    keys: int,
+    shards: int,
+    workers: int,
+    partitioner: str,
+) -> int:
+    """Run one Table III workload across a sharded engine and report it."""
+    from .shard.runner import run_sharded_workload
+    from .workload.spec import TABLE_III
+
+    workload = workload or "RWB"
+    spec_factory = TABLE_III.get(workload)
+    if spec_factory is None:
+        known = ", ".join(TABLE_III)
+        print(f"unknown workload {workload!r}; known: {known}", file=sys.stderr)
+        return 2
+    policy_factory = TRACE_POLICIES.get(policy)
+    if policy_factory is None:
+        known = ", ".join(TRACE_POLICIES)
+        print(f"unknown policy {policy!r}; known: {known}", file=sys.stderr)
+        return 2
+    spec = spec_factory(num_operations=ops, key_space=keys)
+    try:
+        report = run_sharded_workload(
+            spec,
+            policy_factory,
+            num_shards=shards,
+            partitioner=partitioner,
+            workers=workers,
+            config=experiments.experiment_config(),
+        )
+    except Exception as exc:  # ConfigError: bad shard/partitioner combo
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        f"run: workload={report.workload} policy={report.policy} "
+        f"shards={report.num_shards} workers={report.workers} "
+        f"partitioner={report.partitioner}"
+    )
+    snap = report.metrics
+    highlights = [
+        ("operations", report.operations),
+        ("sim throughput ops/s", round(report.throughput_ops_s)),
+        ("write amplification", round(report.write_amplification, 2)),
+        ("compaction MiB", round(mib(snap.compaction_bytes_total), 1)),
+        ("p99.9 latency us", round(report.latencies.percentile(99.9), 1)),
+        ("wall seconds", round(report.wall_s, 3)),
+    ]
+    print(format_table(["metric", "value"], highlights, title="aggregate"))
+    rows = [
+        (
+            index,
+            result.operations,
+            round(result.elapsed_us / 1e6, 3),
+            round(result.write_amplification, 2),
+            result.flush_count,
+            result.compaction_count,
+        )
+        for index, result in enumerate(report.shard_results)
+    ]
+    print(
+        format_table(
+            ["shard", "ops", "virtual s", "write amp", "flushes", "compactions"],
+            rows,
+            title="per shard",
+        )
+    )
+    return 0
+
+
+def run_bench_compare(paths: List[str], threshold: float) -> int:
+    """Diff two bench reports; non-zero exit on regression or loss."""
+    import json
+
+    from .harness import bench
+
+    reports = []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                reports.append(json.load(handle))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        diff = bench.diff_reports(reports[0], reports[1], threshold=threshold)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    rows = [
+        (
+            name,
+            f"{factor:.3f}x",
+            "REGRESSION" if name in diff["regressions"] else "ok",
+        )
+        for name, factor in sorted(diff["speedups"].items())
+    ]
+    for name in diff["missing"]:
+        rows.append((name, "-", "MISSING"))
+    for name in diff["added"]:
+        rows.append((name, "-", "added"))
+    print(
+        format_table(
+            ["benchmark", "speedup", "status"],
+            rows,
+            title=f"bench compare (threshold {threshold:g})",
+        )
+    )
+    if diff["regressions"] or diff["missing"]:
+        failures = len(diff["regressions"]) + len(diff["missing"])
+        print(
+            f"{failures} benchmark(s) regressed beyond {threshold:g} or vanished",
+            file=sys.stderr,
+        )
+        return 1
+    print("no regressions")
+    return 0
+
+
 def run_bench_cli(
     quick: bool,
     out_dir: str,
@@ -264,6 +410,7 @@ EXPERIMENTS: Dict[str, Callable[[int, int], None]] = {
     "adaptive": _matrix_runner(experiments.ablation_adaptive_threshold),
     "tiered": _matrix_runner(experiments.ablation_tiered_tail),
     "asymmetry": _matrix_runner(experiments.ablation_device_asymmetry),
+    "shard_scaling": _run_shard_scaling,
     "describe": _run_describe,
 }
 
@@ -329,7 +476,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="run experiment grids across N worker processes (default serial)",
+        help="worker processes for experiment grids and sharded runs "
+        "(default serial)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="number of keyspace shards ('run' only)",
+    )
+    parser.add_argument(
+        "--partitioner",
+        default="hash",
+        choices=("hash", "range"),
+        help="keyspace partitioning strategy ('run' only)",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        default=None,
+        metavar=("BEFORE", "AFTER"),
+        help="diff two BENCH_*.json reports instead of running ('bench' only)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.9,
+        metavar="FACTOR",
+        help="minimum acceptable speedup factor for --compare (default 0.9)",
     )
     return parser
 
@@ -344,13 +519,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         print("trace")
         print("bench")
+        print("run")
         return 0
     if args.experiment == "bench":
+        if args.compare is not None:
+            return run_bench_compare(args.compare, threshold=args.threshold)
         return run_bench_cli(
             quick=args.quick,
             out_dir=args.bench_out,
             name=args.bench_name,
             only=args.only,
+        )
+    if args.experiment == "run":
+        return run_sharded_cli(
+            args.workload,
+            args.policy,
+            args.ops,
+            args.keys,
+            shards=args.shards,
+            workers=args.workers or 1,
+            partitioner=args.partitioner,
         )
     if args.experiment == "trace":
         if args.workload is None:

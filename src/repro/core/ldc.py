@@ -280,6 +280,7 @@ class LDCPolicy(CompactionPolicy):
         outputs = self.merge_tables(inputs, drop_deletes=drop)
         for table in inputs:
             version.remove_file(0, table)
+            db.note_file_dropped(table)
         for table in outputs:
             version.add_file(1, table)
         db.engine_stats.compaction_count += 1
@@ -401,13 +402,17 @@ class LDCPolicy(CompactionPolicy):
         outputs = self.write_outputs(merged)
 
         version.remove_file(level, target)
+        db.note_file_dropped(target)
         self._linked_tables.pop(target.file_id, None)
         self._due.pop(target.file_id, None)
         detach_all_slices(target)
         for table in outputs:
             version.add_file(level, table)
         for piece in slices:
-            self.frozen.release(piece.source)
+            # release() reports True when the last reference drops and the
+            # frozen file is recycled — only then are its blocks dead.
+            if self.frozen.release(piece.source):
+                db.note_file_dropped(piece.source)
         db.engine_stats.merge_count += 1
         db.engine_stats.compaction_count += 1
         self.bump("merges")

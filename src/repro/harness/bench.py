@@ -25,6 +25,7 @@ floor) differ.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -39,6 +40,7 @@ from ..lsm.config import LSMConfig
 from ..lsm.iterators import merge_records
 from ..lsm.memtable import MemTable
 from ..lsm.record import KVRecord
+from ..shard.runner import run_sharded_workload
 from ..workload import spec as workloads
 
 #: Schema tag written into every BENCH_*.json (bump on breaking changes).
@@ -225,6 +227,108 @@ def bench_udc_vs_ldc(quick: bool = False) -> BenchResult:
     )
 
 
+# ----------------------------------------------------------------------
+# Sharded benchmarks (repro.shard over the same macro workloads)
+# ----------------------------------------------------------------------
+def _sharded_pair_wall(
+    ops: int, keys: int, num_shards: int, workers: int
+) -> Dict[str, object]:
+    """Run the fillrandom+readrandom macro pair sharded; return timings.
+
+    The pair is the scaling unit: a write-heavy leg (compaction-bound)
+    and a read-heavy leg against a preloaded store (lookup-bound), the
+    two costs sharding attacks — smaller trees compact less and probe
+    fewer levels.
+    """
+    fill_spec = _macro_spec("WO", ops, keys)
+    read_spec = _macro_spec("RO", ops, keys, preload_keys=keys)
+    start = time.perf_counter()
+    fill = run_sharded_workload(
+        fill_spec, LeveledCompaction, num_shards, workers=workers,
+        config=LSMConfig(),
+    )
+    read = run_sharded_workload(
+        read_spec, LeveledCompaction, num_shards, workers=workers,
+        config=LSMConfig(),
+    )
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "fill": fill,
+        "read": read,
+        "write_amplification": fill.write_amplification,
+    }
+
+
+def bench_sharded_fillrandom(quick: bool = False) -> BenchResult:
+    """Random insertion through a 4-shard engine (hash partitioning).
+
+    Directly comparable to ``fillrandom``: same spec, same policy, the
+    trace split over four quarter-size trees.  The interesting extras are
+    the write amplification (lower than the single store's — fewer levels
+    per shard) and the per-shard operation balance.
+    """
+    ops = 3_000 if quick else 30_000
+    keys = max(500, ops // 3)
+    spec = _macro_spec("WO", ops, keys)
+    start = time.perf_counter()
+    report = run_sharded_workload(
+        spec, LeveledCompaction, num_shards=4, workers=1, config=LSMConfig()
+    )
+    wall = time.perf_counter() - start
+    balance = min(report.shard_operations) / max(1, max(report.shard_operations))
+    return BenchResult(
+        "sharded_fillrandom",
+        ops,
+        wall,
+        extra={
+            "sim_throughput_ops_s": report.throughput_ops_s,
+            "write_amplification": report.write_amplification,
+            "shard_balance": balance,
+        },
+    )
+
+
+def bench_shard_scaling(quick: bool = False) -> BenchResult:
+    """The shard-scaling curve on the fillrandom+readrandom macro pair.
+
+    Three points: 1 shard (the PR 2 baseline), 4 shards executed serially
+    (isolates the work reduction from smaller per-shard trees), and
+    4 shards on 4 worker processes (adds host parallelism).  The serial
+    and parallel sharded runs are asserted byte-identical in their
+    aggregated metrics (``serial_parallel_identical``); ``cpu_count`` is
+    recorded because the parallel point's wall-clock gain is bounded by
+    ``min(workers, physical cores)`` — on a single-core host the curve
+    shows the pure work-reduction term only.
+    """
+    ops = 3_000 if quick else 30_000
+    keys = max(500, ops // 3)
+    single = _sharded_pair_wall(ops, keys, num_shards=1, workers=1)
+    serial = _sharded_pair_wall(ops, keys, num_shards=4, workers=1)
+    parallel = _sharded_pair_wall(ops, keys, num_shards=4, workers=4)
+    identical = (
+        serial["fill"].fingerprint() == parallel["fill"].fingerprint()
+        and serial["read"].fingerprint() == parallel["read"].fingerprint()
+    )
+    single_wall = single["wall_s"]
+    return BenchResult(
+        "shard_scaling",
+        2 * ops,
+        parallel["wall_s"],
+        extra={
+            "wall_1shard_s": single_wall,
+            "wall_4shard_serial_s": serial["wall_s"],
+            "wall_4shard_parallel_s": parallel["wall_s"],
+            "speedup_4shard_serial": single_wall / serial["wall_s"],
+            "speedup_4shard_parallel": single_wall / parallel["wall_s"],
+            "serial_parallel_identical": 1.0 if identical else 0.0,
+            "cpu_count": float(os.cpu_count() or 1),
+            "write_amplification_1shard": single["write_amplification"],
+            "write_amplification_4shard": serial["write_amplification"],
+        },
+    )
+
+
 #: The fixed suite, in execution order.
 BENCHMARKS: Dict[str, Callable[[bool], BenchResult]] = {
     "bloom_probe": bench_bloom_probe,
@@ -234,6 +338,8 @@ BENCHMARKS: Dict[str, Callable[[bool], BenchResult]] = {
     "fillrandom": bench_fillrandom,
     "readrandom": bench_readrandom,
     "udc_vs_ldc": bench_udc_vs_ldc,
+    "sharded_fillrandom": bench_sharded_fillrandom,
+    "shard_scaling": bench_shard_scaling,
 }
 
 
@@ -273,8 +379,6 @@ def bench_report(
 
 def write_bench_report(report: Dict[str, object], out_dir: str = ".") -> str:
     """Write the report as ``<out_dir>/BENCH_<name>.json``; return the path."""
-    import os
-
     path = os.path.join(out_dir, f"BENCH_{report['name']}.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -295,3 +399,39 @@ def compare_reports(
             continue
         out[bench_name] = data["ops_per_sec"] / base["ops_per_sec"]
     return out
+
+
+def diff_reports(
+    before: Dict[str, object],
+    after: Dict[str, object],
+    threshold: float = 0.9,
+) -> Dict[str, object]:
+    """Regression-gating diff of two ``repro-bench/v1`` reports.
+
+    A benchmark *regresses* when its speedup factor (after over before)
+    falls below ``threshold`` — e.g. 0.9 tolerates 10% slowdown, which is
+    roughly the noise floor of the quick CI suite.  Benchmarks present
+    only in ``before`` are reported as ``missing`` (a silently dropped
+    benchmark must fail the gate too); benchmarks only in ``after`` are
+    ``added`` and never gate.
+    """
+    if not 0 < threshold <= 1:
+        raise ValueError(f"threshold must lie in (0, 1], got {threshold}")
+    for label, report in (("before", before), ("after", after)):
+        if report.get("schema") != BENCH_SCHEMA:
+            raise ValueError(
+                f"{label} report has schema {report.get('schema')!r}, "
+                f"expected {BENCH_SCHEMA!r}"
+            )
+    speedups = compare_reports(before, after)
+    before_benches = before.get("benchmarks", {})
+    after_benches = after.get("benchmarks", {})
+    return {
+        "threshold": threshold,
+        "speedups": speedups,
+        "regressions": {
+            name: factor for name, factor in speedups.items() if factor < threshold
+        },
+        "missing": sorted(set(before_benches) - set(after_benches)),
+        "added": sorted(set(after_benches) - set(before_benches)),
+    }

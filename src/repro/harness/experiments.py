@@ -564,6 +564,53 @@ def _scaling_tasks(
 
 
 # ----------------------------------------------------------------------
+# Shard scaling (repro.shard — beyond the paper's single-store scope)
+# ----------------------------------------------------------------------
+def shard_scaling(
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    ops: int = DEFAULT_OPS,
+    key_space: int = DEFAULT_KEY_SPACE,
+    workers: Optional[int] = None,
+    partitioner: str = "hash",
+) -> Dict[int, Dict[str, float]]:
+    """RWB across shard counts: how partitioning changes the work itself.
+
+    Two effects stack as shards grow: per-shard trees are smaller (fewer
+    levels, less compaction work — write amplification falls), and the
+    shard tasks execute on independent workers (wall-clock parallelism,
+    bounded by the host's cores).  Virtual-time metrics are deterministic
+    and worker-count-independent; ``wall_s`` is the only host-dependent
+    column.
+    """
+    # Local import: experiments is imported during ``repro.harness`` init,
+    # which repro.shard.runner itself imports — a module-level import here
+    # would close that cycle.
+    from ..shard.runner import run_sharded_workload
+
+    if workers is None:
+        workers = _default_workers or 1
+    spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
+    out: Dict[int, Dict[str, float]] = {}
+    for count in shard_counts:
+        report = run_sharded_workload(
+            spec_item,
+            udc_factory,
+            num_shards=count,
+            partitioner=partitioner,
+            workers=workers,
+            config=experiment_config(),
+        )
+        out[count] = {
+            "throughput_ops_s": report.throughput_ops_s,
+            "write_amplification": report.write_amplification,
+            "compaction_mib": report.metrics.compaction_bytes_total / 2**20,
+            "p999_us": report.latencies.percentile(99.9),
+            "wall_s": report.wall_s,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
 # Ablations (beyond the paper's figures)
 # ----------------------------------------------------------------------
 def ablation_adaptive_threshold(

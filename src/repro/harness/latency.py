@@ -127,6 +127,23 @@ class LatencyTimeline:
         self._counts[bucket] = self._counts.get(bucket, 0) + 1
         self._maxes[bucket] = max(self._maxes.get(bucket, 0.0), latency_us)
 
+    def merge(self, other: "LatencyTimeline") -> None:
+        """Fold ``other``'s buckets into this timeline (same bucket width).
+
+        Shards record against independent virtual clocks over the same
+        bucket grid, so merging is bucket-wise: sums and counts add, maxes
+        take the max.  Used by the sharded runner to build the aggregate
+        Fig. 1-style series.
+        """
+        if other.bucket_us != self.bucket_us:
+            raise ReproError("cannot merge timelines with different bucket widths")
+        for bucket, count in other._counts.items():
+            self._sums[bucket] = self._sums.get(bucket, 0.0) + other._sums[bucket]
+            self._counts[bucket] = self._counts.get(bucket, 0) + count
+            self._maxes[bucket] = max(
+                self._maxes.get(bucket, 0.0), other._maxes[bucket]
+            )
+
     def points(self) -> List[TimelinePoint]:
         return [
             TimelinePoint(

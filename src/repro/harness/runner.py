@@ -143,7 +143,27 @@ def run_workload(
             db.put(operation.key, operation.value)
         db.policy.maybe_compact()
         db.reset_measurements()
+    return execute_operations(
+        db,
+        generator.operations(),
+        workload_name=spec.name,
+        timeline_bucket_us=timeline_bucket_us,
+    )
 
+
+def execute_operations(
+    db: DB,
+    operations,
+    workload_name: str,
+    timeline_bucket_us: float = 1_000_000.0,
+) -> RunResult:
+    """Execute an explicit operation stream against a prepared DB.
+
+    The measured core of :func:`run_workload`, split out so the sharded
+    runner (:mod:`repro.shard.runner`) can drive a shard with a
+    pre-partitioned slice of the trace through the *identical* loop —
+    keeping single-store and sharded measurements comparable.
+    """
     recorders = {
         OP_PUT: LatencyRecorder(),
         OP_DELETE: LatencyRecorder(),
@@ -157,7 +177,7 @@ def run_workload(
     start_time = clock.now()
     count = 0
 
-    for operation in generator.operations():
+    for operation in operations:
         begin = clock.now()
         if operation.kind == OP_PUT:
             db.put(operation.key, operation.value)
@@ -185,7 +205,7 @@ def run_workload(
     write_recorder = _merge_recorders(recorders[OP_PUT], recorders[OP_DELETE])
     final_threshold = getattr(db.policy, "threshold", None)
     return RunResult(
-        workload=spec.name,
+        workload=workload_name,
         policy=db.policy.name,
         operations=count,
         elapsed_us=elapsed,

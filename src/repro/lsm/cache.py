@@ -8,8 +8,10 @@ in-memory cache", which is why both policies accelerate under skew.
 The cache maps ``(file_id, block_index)`` to the block's byte size; a hit
 costs a small CPU constant, a miss charges the device and installs the
 block.  File ids are unique for the lifetime of a store, so entries of
-deleted files can never be wrongly hit; like LevelDB, we let them age out
-of the LRU rather than eagerly invalidating.
+deleted files can never be wrongly hit — but until evicted they still
+occupy capacity and squeeze live hot blocks, so the engine calls
+:meth:`BlockCache.evict_file` the moment a compaction permanently drops
+an SSTable instead of letting its dead blocks age out of the LRU.
 """
 
 from __future__ import annotations
@@ -83,6 +85,21 @@ class BlockCache:
         while self._used_bytes > self.capacity_bytes:
             _, evicted = self._entries.popitem(last=False)
             self._used_bytes -= evicted
+
+    def evict_file(self, file_id: int) -> int:
+        """Drop every resident block of ``file_id``; returns bytes freed.
+
+        Called when a version permanently drops an SSTable (compaction
+        inputs, merged LDC targets, recycled frozen files) so dead blocks
+        release capacity immediately.  Not counted as LRU evictions or
+        misses — the blocks were unreachable anyway.
+        """
+        doomed = [key for key in self._entries if key[0] == file_id]
+        freed = 0
+        for key in doomed:
+            freed += self._entries.pop(key)
+        self._used_bytes -= freed
+        return freed
 
     @property
     def used_bytes(self) -> int:

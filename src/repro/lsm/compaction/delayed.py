@@ -85,8 +85,10 @@ class DelayedCompaction(CompactionPolicy):
         outputs = self.merge_tables([*inputs, *overlaps], drop_deletes=drop)
         for table in inputs:
             version.remove_file(level, table)
+            db.note_file_dropped(table)
         for table in overlaps:
             version.remove_file(level + 1, table)
+            db.note_file_dropped(table)
         for table in outputs:
             version.add_file(level + 1, table)
         db.engine_stats.compaction_count += 1

@@ -72,6 +72,7 @@ class TieredCompaction(CompactionPolicy):
         outputs = self.merge_tables(inputs, drop_deletes=drop)
         for table in inputs:
             version.remove_file(level, table)
+            db.note_file_dropped(table)
         if level != 0:
             self._runs[level] = []
         for table in outputs:

@@ -145,6 +145,27 @@ class DB:
         self._next_seq += 1
         return seq
 
+    @property
+    def last_sequence(self) -> int:
+        """Sequence number of the most recent write (0 before any write).
+
+        The snapshot anchor: a sharded snapshot pins one of these per
+        shard, giving a consistent cut of a store whose writes are
+        strictly sequence-ordered.
+        """
+        return self._next_seq - 1
+
+    def note_file_dropped(self, table) -> None:
+        """A version permanently dropped ``table``; release its cache blocks.
+
+        Compaction policies call this at true end-of-life only — merged
+        inputs, replaced targets, recycled frozen files — never for
+        trivial moves (same table re-added) or LDC link freezes (slices
+        keep the file readable).
+        """
+        if self.block_cache is not None:
+            self.block_cache.evict_file(table.file_id)
+
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------

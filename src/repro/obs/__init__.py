@@ -17,6 +17,12 @@ Three pieces, one import::
   p50/p90/p99/p99.9/max without storing every value.
 """
 
+from .aggregate import (
+    SHARD_PREFIX,
+    aggregate_snapshots,
+    combined_view,
+    namespace_snapshot,
+)
 from .events import (
     ALL_EVENT_KINDS,
     EV_CACHE_HIT,
@@ -51,6 +57,10 @@ __all__ = [
     "summarize_events",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "aggregate_snapshots",
+    "combined_view",
+    "namespace_snapshot",
+    "SHARD_PREFIX",
     "LatencyHistogram",
     "DEFAULT_PERCENTILES",
     "ALL_EVENT_KINDS",

@@ -1,0 +1,151 @@
+"""The bench regression gate: ``diff_reports`` and ``bench --compare``.
+
+CI diffs a fresh quick-bench report against the committed baseline; a
+benchmark that slowed past the threshold — or silently vanished — must
+flip the exit code, not just print a number.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness.bench import BENCH_SCHEMA, BenchResult, bench_report, diff_reports
+
+
+def _report(**ops_per_sec: float) -> dict:
+    results = [
+        BenchResult(name=name, ops=1000, wall_s=1000.0 / rate)
+        for name, rate in ops_per_sec.items()
+    ]
+    return bench_report(results, name="test", quick=True)
+
+
+class TestDiffReports:
+    def test_no_change_no_regressions(self) -> None:
+        before = _report(alpha=100.0, beta=200.0)
+        diff = diff_reports(before, before)
+        assert diff["regressions"] == {}
+        assert diff["missing"] == []
+        assert all(factor == pytest.approx(1.0) for factor in diff["speedups"].values())
+
+    def test_slowdown_beyond_threshold_flagged(self) -> None:
+        before = _report(alpha=100.0, beta=200.0)
+        after = _report(alpha=80.0, beta=199.0)  # alpha -20%, beta noise
+        diff = diff_reports(before, after, threshold=0.9)
+        assert set(diff["regressions"]) == {"alpha"}
+        assert "beta" not in diff["regressions"]
+
+    def test_threshold_is_respected(self) -> None:
+        before = _report(alpha=100.0)
+        after = _report(alpha=80.0)
+        assert diff_reports(before, after, threshold=0.75)["regressions"] == {}
+        assert "alpha" in diff_reports(before, after, threshold=0.85)["regressions"]
+
+    def test_missing_benchmark_reported(self) -> None:
+        before = _report(alpha=100.0, beta=200.0)
+        after = _report(alpha=100.0)
+        diff = diff_reports(before, after)
+        assert diff["missing"] == ["beta"]
+
+    def test_added_benchmark_does_not_gate(self) -> None:
+        before = _report(alpha=100.0)
+        after = _report(alpha=100.0, gamma=50.0)
+        diff = diff_reports(before, after)
+        assert diff["added"] == ["gamma"]
+        assert diff["regressions"] == {} and diff["missing"] == []
+
+    def test_rejects_wrong_schema(self) -> None:
+        good = _report(alpha=100.0)
+        bad = dict(good, schema="other/v9")
+        with pytest.raises(ValueError):
+            diff_reports(bad, good)
+        with pytest.raises(ValueError):
+            diff_reports(good, bad)
+
+    def test_rejects_bad_threshold(self) -> None:
+        report = _report(alpha=100.0)
+        with pytest.raises(ValueError):
+            diff_reports(report, report, threshold=0.0)
+        with pytest.raises(ValueError):
+            diff_reports(report, report, threshold=1.5)
+
+    def test_report_schema_tag(self) -> None:
+        assert _report(alpha=1.0)["schema"] == BENCH_SCHEMA
+
+
+class TestCompareCli:
+    def _write(self, path, report) -> str:
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_identical_reports_exit_zero(self, tmp_path, capsys) -> None:
+        path = self._write(tmp_path / "a.json", _report(alpha=100.0))
+        assert main(["bench", "--compare", path, path]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys) -> None:
+        before = self._write(tmp_path / "a.json", _report(alpha=100.0))
+        after = self._write(tmp_path / "b.json", _report(alpha=50.0))
+        assert main(["bench", "--compare", before, after]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regressed" in captured.err
+
+    def test_custom_threshold(self, tmp_path) -> None:
+        before = self._write(tmp_path / "a.json", _report(alpha=100.0))
+        after = self._write(tmp_path / "b.json", _report(alpha=60.0))
+        assert main(["bench", "--compare", before, after, "--threshold", "0.5"]) == 0
+
+    def test_missing_benchmark_exits_nonzero(self, tmp_path, capsys) -> None:
+        before = self._write(tmp_path / "a.json", _report(alpha=100.0, beta=1.0))
+        after = self._write(tmp_path / "b.json", _report(alpha=100.0))
+        assert main(["bench", "--compare", before, after]) == 1
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_two(self, tmp_path, capsys) -> None:
+        good = self._write(tmp_path / "a.json", _report(alpha=100.0))
+        assert main(["bench", "--compare", good, str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_invalid_json_exits_two(self, tmp_path, capsys) -> None:
+        good = self._write(tmp_path / "a.json", _report(alpha=100.0))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["bench", "--compare", good, str(bad)]) == 2
+
+
+class TestRunCli:
+    def test_sharded_run_end_to_end(self, capsys) -> None:
+        assert main([
+            "run", "RWB", "--shards", "3", "--ops", "900", "--keys", "300",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shards=3" in out
+        assert "per shard" in out
+
+    def test_range_partitioner_flag(self, capsys) -> None:
+        assert main([
+            "run", "WO", "--shards", "2", "--partitioner", "range",
+            "--ops", "600", "--keys", "200", "--policy", "udc",
+        ]) == 0
+        assert "range" in capsys.readouterr().out
+
+    def test_default_workload_is_rwb(self, capsys) -> None:
+        assert main(["run", "--shards", "2", "--ops", "600", "--keys", "200"]) == 0
+        assert "workload=RWB" in capsys.readouterr().out
+
+    def test_unknown_workload_exits_two(self, capsys) -> None:
+        assert main(["run", "NOPE", "--shards", "2"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_bad_shard_count_exits_two(self, capsys) -> None:
+        assert main(["run", "RWB", "--shards", "0", "--ops", "100"]) == 2
+
+    def test_listed(self, capsys) -> None:
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "run" in out.splitlines()
+        assert "shard_scaling" in out

@@ -71,6 +71,31 @@ class TestBlockCacheUnit:
         # one miss from the failed lookup above plus the hit
         assert 0.0 < cache.hit_ratio < 1.0
 
+    def test_evict_file_frees_all_its_blocks(self):
+        cache = BlockCache(10_000)
+        cache.insert(1, 0, 100)
+        cache.insert(1, 1, 100)
+        cache.insert(2, 0, 100)
+        freed = cache.evict_file(1)
+        assert freed == 200
+        assert cache.used_bytes == 100
+        assert len(cache) == 1
+        assert not cache.lookup(1, 0)
+        assert cache.lookup(2, 0)
+
+    def test_evict_unknown_file_is_noop(self):
+        cache = BlockCache(1000)
+        cache.insert(1, 0, 100)
+        assert cache.evict_file(99) == 0
+        assert cache.used_bytes == 100
+
+    def test_evict_does_not_count_as_miss(self):
+        cache = BlockCache(1000)
+        cache.insert(1, 0, 100)
+        hits, misses = cache.hits, cache.misses
+        cache.evict_file(1)
+        assert (cache.hits, cache.misses) == (hits, misses)
+
     @given(
         st.lists(
             st.tuples(st.integers(0, 5), st.integers(0, 10), st.integers(1, 200)),
@@ -83,6 +108,32 @@ class TestBlockCacheUnit:
         for file_id, block, nbytes in inserts:
             cache.insert(file_id, block, nbytes)
             assert cache.used_bytes <= 512
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("insert"),
+                    st.integers(0, 4),
+                    st.integers(0, 8),
+                    st.integers(1, 200),
+                ),
+                st.tuples(st.just("evict"), st.integers(0, 4)),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=30)
+    def test_evict_keeps_accounting_consistent(self, actions):
+        cache = BlockCache(2048)
+        for action in actions:
+            if action[0] == "insert":
+                _, file_id, block, nbytes = action
+                cache.insert(file_id, block, nbytes)
+            else:
+                cache.evict_file(action[1])
+            assert cache.used_bytes == sum(cache._entries.values())
+            assert cache.used_bytes <= 2048
 
 
 class TestCacheInEngine:
@@ -147,6 +198,40 @@ class TestCacheInEngine:
             assert db.scan(key_of(0), 50) == sorted(model.items())[:50]
             contents.append(dict(db.logical_items()))
         assert contents[0] == contents[1]
+
+    def test_cache_never_holds_dead_file_blocks(self):
+        """Compacted-away files release their cache blocks immediately."""
+        db = DB(config=self._config(128 * 1024), policy=LeveledCompaction())
+        for index in range(4000):
+            db.put(key_of(index % 500), b"v" * 40)
+            if index % 50 == 0:
+                db.get(key_of(index % 500))
+        db.policy.maybe_compact()
+        live = {
+            table.file_id
+            for level in range(db.version.num_levels)
+            for table in db.version.files(level)
+        }
+        cached = {file_id for file_id, _ in db.block_cache._entries}
+        assert cached <= live
+
+    def test_ldc_frozen_files_stay_cached_until_recycled(self):
+        """LDC-linked files stay readable via slices, so their blocks stay;
+        only full recycling (refcount zero) drops them."""
+        db = DB(config=self._config(128 * 1024), policy=LDCPolicy())
+        for index in range(4000):
+            db.put(key_of(index % 500), b"v" * 40)
+            if index % 50 == 0:
+                db.get(key_of(index % 500))
+        db.policy.maybe_compact()
+        live = {
+            table.file_id
+            for level in range(db.version.num_levels)
+            for table in db.version.files(level)
+        }
+        frozen = {table.file_id for table in db.policy.frozen.files()}
+        cached = {file_id for file_id, _ in db.block_cache._entries}
+        assert cached <= live | frozen
 
     def test_scan_uses_cache(self):
         db = DB(config=self._config(128 * 1024), policy=LeveledCompaction())

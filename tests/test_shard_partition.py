@@ -1,0 +1,116 @@
+"""Partitioners must be total, deterministic and process-stable.
+
+The shard runner routes a trace on the driver and trusts the workers to
+see the same ownership; any per-process variation (e.g. Python's salted
+``hash()``) would silently break the determinism contract.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.shard.partition import (
+    HashPartitioner,
+    RangePartitioner,
+    make_partitioner,
+)
+
+
+def _decimal_keys(count: int, key_bytes: int = 16) -> list:
+    return [str(i).zfill(key_bytes).encode("ascii") for i in range(count)]
+
+
+class TestHashPartitioner:
+    def test_covers_all_shards_and_stays_in_range(self) -> None:
+        part = HashPartitioner(4)
+        seen = set()
+        for key in _decimal_keys(2000):
+            shard = part.shard_of(key)
+            assert 0 <= shard < 4
+            seen.add(shard)
+        assert seen == {0, 1, 2, 3}
+
+    def test_is_crc32_not_salted_hash(self) -> None:
+        part = HashPartitioner(7)
+        for key in (b"a", b"key-42", b"0000000000000123"):
+            assert part.shard_of(key) == zlib.crc32(key) % 7
+
+    def test_roughly_balanced(self) -> None:
+        part = HashPartitioner(4)
+        counts = [0, 0, 0, 0]
+        for key in _decimal_keys(8000):
+            counts[part.shard_of(key)] += 1
+        assert min(counts) > 0.7 * max(counts)
+
+    def test_pickle_roundtrip_preserves_routing(self) -> None:
+        part = HashPartitioner(5)
+        clone = pickle.loads(pickle.dumps(part))
+        for key in _decimal_keys(200):
+            assert clone.shard_of(key) == part.shard_of(key)
+
+    def test_rejects_nonpositive_shards(self) -> None:
+        with pytest.raises(ConfigError):
+            HashPartitioner(0)
+
+
+class TestRangePartitioner:
+    def test_boundary_semantics(self) -> None:
+        part = RangePartitioner([b"b", b"m"])
+        assert part.num_shards == 3
+        assert part.shard_of(b"a") == 0
+        assert part.shard_of(b"b") == 1  # boundaries belong to the right
+        assert part.shard_of(b"l") == 1
+        assert part.shard_of(b"m") == 2
+        assert part.shard_of(b"z") == 2
+
+    def test_decimal_keyspace_split_is_even_and_total(self) -> None:
+        part = RangePartitioner.for_decimal_keyspace(4, key_space=1000)
+        counts = [0, 0, 0, 0]
+        for key in _decimal_keys(1000):
+            counts[part.shard_of(key)] += 1
+        assert counts == [250, 250, 250, 250]
+
+    def test_preserves_order_across_shards(self) -> None:
+        part = RangePartitioner.for_decimal_keyspace(4, key_space=1000)
+        keys = _decimal_keys(1000)
+        shards = [part.shard_of(key) for key in keys]
+        assert shards == sorted(shards)  # ranges, so ownership is monotone
+
+    def test_rejects_unsorted_boundaries(self) -> None:
+        with pytest.raises(ConfigError):
+            RangePartitioner([b"m", b"b"])
+
+    def test_rejects_empty_boundary(self) -> None:
+        with pytest.raises(ConfigError):
+            RangePartitioner([b""])
+
+    def test_single_shard_owns_everything(self) -> None:
+        part = RangePartitioner([])
+        assert part.num_shards == 1
+        assert part.shard_of(b"anything") == 0
+
+
+class TestMakePartitioner:
+    def test_hash_kind(self) -> None:
+        part = make_partitioner("hash", 4)
+        assert isinstance(part, HashPartitioner)
+        assert part.num_shards == 4
+
+    def test_range_kind_needs_key_space(self) -> None:
+        with pytest.raises(ConfigError):
+            make_partitioner("range", 4)
+        part = make_partitioner("range", 4, key_space=1000)
+        assert isinstance(part, RangePartitioner)
+        assert part.num_shards == 4
+
+    def test_range_single_shard_needs_no_key_space(self) -> None:
+        part = make_partitioner("range", 1)
+        assert part.shard_of(b"k") == 0
+
+    def test_unknown_kind(self) -> None:
+        with pytest.raises(ConfigError):
+            make_partitioner("modulo", 4)
