@@ -10,6 +10,7 @@ Usage::
     python -m repro bench --quick              # wall-clock perf suite
     python -m repro bench --compare BENCH_a.json BENCH_b.json
     python -m repro run RWB --shards 4 --workers 4   # sharded execution
+    python -m repro crashtest --policy ldc --every 25   # crash-consistency sweep
 
 The heavy lifting lives in :mod:`repro.harness.experiments`; this module
 maps experiment names to those entry points and prints their results as
@@ -307,6 +308,64 @@ def run_sharded_cli(
     return 0
 
 
+def run_crashtest_cli(
+    policy: str,
+    ops: int,
+    keys: int,
+    every: int,
+    shards: int,
+    seed: int,
+    value_bytes: int,
+    corrupt: int,
+) -> int:
+    """Crash-point enumeration + corruption sweep (``repro crashtest``).
+
+    Replays a deterministic mixed workload, crashing at every
+    ``every``-th charged I/O, recovering, and checking the
+    durability/atomicity oracle at each point; then seeds ``corrupt``
+    read corruptions and requires all of them to be detected via CRC.
+    Exit status 0 only when both passes hold.
+    """
+    from .faults import crashtest
+
+    policy_factory = TRACE_POLICIES.get(policy)
+    if policy_factory is None:
+        known = ", ".join(TRACE_POLICIES)
+        print(f"unknown policy {policy!r}; known: {known}", file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int) -> None:
+        if done % 200 == 0 or done == total:
+            print(f"  crash points: {done}/{total}", file=sys.stderr)
+
+    report = crashtest.run_crashtest(
+        policy_factory,
+        policy_name=policy,
+        num_ops=ops,
+        num_keys=keys,
+        value_bytes=value_bytes,
+        seed=seed,
+        stride=every,
+        shards=shards,
+        progress=progress,
+    )
+    print(report.summary())
+    corruption = None
+    if corrupt > 0:
+        corruption = crashtest.run_corruption_test(
+            policy_factory,
+            policy_name=policy,
+            num_ops=min(ops, 1500),
+            num_keys=keys,
+            value_bytes=value_bytes,
+            seed=seed,
+            corruptions=corrupt,
+        )
+        print(corruption.summary())
+    ok = report.ok and (corruption is None or corruption.ok)
+    return 0 if ok else 1
+
+
 def run_bench_compare(paths: List[str], threshold: float) -> int:
     """Diff two bench reports; non-zero exit on regression or loss."""
     import json
@@ -431,8 +490,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="Table III workload name (trace subcommand only), e.g. WO or RWB",
     )
-    parser.add_argument("--ops", type=int, default=20_000, help="measured operations")
-    parser.add_argument("--keys", type=int, default=8_000, help="key-space size")
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=None,
+        help="measured operations (default 20000; 2000 for 'crashtest')",
+    )
+    parser.add_argument(
+        "--keys",
+        type=int,
+        default=None,
+        help="key-space size (default 8000; 200 for 'crashtest')",
+    )
     parser.add_argument(
         "--policy",
         default="ldc",
@@ -493,6 +562,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="keyspace partitioning strategy ('run' only)",
     )
     parser.add_argument(
+        "--every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="crash at every Nth I/O (stride sampling; 'crashtest' only)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="workload seed ('crashtest' only)",
+    )
+    parser.add_argument(
+        "--value-bytes",
+        type=int,
+        default=32,
+        metavar="N",
+        help="value size for the crashtest workload ('crashtest' only)",
+    )
+    parser.add_argument(
+        "--corrupt",
+        type=int,
+        default=25,
+        metavar="N",
+        help="seeded read corruptions after the crash sweep; 0 disables "
+        "('crashtest' only)",
+    )
+    parser.add_argument(
         "--compare",
         nargs=2,
         default=None,
@@ -512,6 +609,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.experiment == "crashtest":
+        ops = args.ops if args.ops is not None else 2_000
+        keys = args.keys if args.keys is not None else 200
+    else:
+        ops = args.ops if args.ops is not None else 20_000
+        keys = args.keys if args.keys is not None else 8_000
+    args.ops = ops
+    args.keys = keys
     if args.workers is not None:
         experiments.set_default_workers(args.workers)
     if args.experiment == "list":
@@ -520,7 +625,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("trace")
         print("bench")
         print("run")
+        print("crashtest")
         return 0
+    if args.experiment == "crashtest":
+        return run_crashtest_cli(
+            args.policy,
+            args.ops,
+            args.keys,
+            every=args.every,
+            shards=args.shards,
+            seed=args.seed,
+            value_bytes=args.value_bytes,
+            corrupt=args.corrupt,
+        )
     if args.experiment == "bench":
         if args.compare is not None:
             return run_bench_compare(args.compare, threshold=args.threshold)

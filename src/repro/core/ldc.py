@@ -390,10 +390,17 @@ class LDCPolicy(CompactionPolicy):
 
         # Load the lower file in full and each slice's overlapping blocks.
         db.device.read(target.data_size, COMPACTION_READ, sequential=True)
+        if db._faulty:
+            db._verify_block_read(target, range(target.num_blocks))
         for piece in slices:
             db.device.read(
                 piece.read_block_bytes(), COMPACTION_READ, sequential=True
             )
+            if db._faulty:
+                db._verify_block_read(
+                    piece.source,
+                    [b for b, _ in piece.source.blocks_in_range(piece.lo, piece.hi)],
+                )
 
         streams = [target.records]
         streams.extend(piece.records() for piece in slices)

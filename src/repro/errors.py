@@ -25,6 +25,61 @@ class EngineError(ReproError):
     """An LSM engine invariant was violated or misused."""
 
 
+class RecoveryError(EngineError):
+    """Crash recovery cannot proceed (e.g. the WAL is disabled)."""
+
+
+class CorruptionError(EngineError):
+    """A block failed CRC verification on a decode path.
+
+    Raised instead of returning silently wrong data when the (simulated)
+    device delivered flipped bits — the contract the fault-injection
+    corruption tests assert.
+    """
+
+
+class TransientIOError(DeviceError):
+    """One transient device failure, absorbed by the retry layer.
+
+    Never escapes :class:`~repro.faults.device.FaultyDevice` — it exists
+    so tests can name the internal failure mode; callers only ever see
+    :class:`PersistentIOError` once the bounded retry budget is spent.
+    """
+
+
+class PersistentIOError(DeviceError):
+    """A device request kept failing beyond the bounded retry policy."""
+
+
+class SimulatedCrash(ReproError):
+    """Control-flow signal for an injected crash point.
+
+    Raised by :class:`~repro.faults.device.FaultyDevice` when the armed
+    crash point is reached: the in-flight I/O aborts and the process is
+    considered dead.  Not an engine bug — harnesses catch it and drive
+    :meth:`~repro.lsm.db.DB.crash_and_recover`.
+
+    Attributes
+    ----------
+    io_index:
+        1-based global index of the aborted I/O.
+    category:
+        Device category of the aborted I/O (e.g. ``wal_write``).
+    torn_bytes:
+        How many bytes of the aborted write reached the media before the
+        crash (0 for a clean abort; only meaningful for writes).
+    """
+
+    def __init__(self, io_index: int, category: str, torn_bytes: int = 0) -> None:
+        super().__init__(
+            f"simulated crash at I/O #{io_index} ({category}, "
+            f"{torn_bytes} bytes torn onto media)"
+        )
+        self.io_index = io_index
+        self.category = category
+        self.torn_bytes = torn_bytes
+
+
 class ClosedError(EngineError):
     """An operation was issued against a closed database."""
 

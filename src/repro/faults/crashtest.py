@@ -1,0 +1,608 @@
+"""Crash-point enumeration: replay a workload, crashing at every I/O.
+
+The harness behind ``repro crashtest``.  One workload, three passes:
+
+1. **Reference run** — execute the workload on a fault-free store whose
+   device is wrapped in a :class:`~repro.faults.device.FaultyDevice` with
+   an empty plan, purely to count the charged I/Os (and to confirm the
+   workload exercises flushes and, under LDC, links and merges).
+2. **Crash enumeration** — for every I/O index (or every ``stride``-th
+   one), rebuild the store from scratch, arm a one-shot crash at that
+   index, run the workload until the crash fires, recover, and check the
+   durability/atomicity oracle.
+3. **Oracle** — after recovery:
+
+   * every *acknowledged* write (operation returned before the crash) is
+     readable with its acknowledged value;
+   * the operation in flight at the crash is atomic: its keys show
+     either entirely the old state or entirely the new one (for a
+     ``write_batch``, all-or-nothing across the whole batch);
+   * :meth:`~repro.lsm.db.DB.check_invariants` passes — levels sorted
+     and disjoint, LDC frozen refcounts equal to live slice fan-in,
+     block cache holding only live files;
+   * after retrying the interrupted operation and finishing the
+     workload, the store's full logical contents equal the model.
+
+Torn WAL tails are exercised by cycling the crash's ``torn_fraction``
+through 0, ½ and 1 across crash points, so every third write-crash
+leaves a partial record on media for recovery to detect and drop.
+
+Sharded mode arms one shard at a time (each shard owns its device), and
+recovery runs fleet-wide via :meth:`~repro.shard.db.ShardedDB.crash_and_recover`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .plan import FaultPlan
+from ..errors import CorruptionError, ReproError, SimulatedCrash
+from ..lsm.config import LSMConfig
+from ..lsm.db import DB, WriteBatch
+from ..shard.db import ShardedDB
+
+#: A workload operation: ("put", key, value) | ("delete", key) |
+#: ("get", key) | ("scan", start_key, count) |
+#: ("batch", ((key, value-or-None), ...)).
+Operation = Tuple
+
+PolicyFactory = Callable[[], object]
+
+#: torn_fraction cycle applied across successive crash points.
+TORN_CYCLE = (0.0, 0.5, 1.0)
+
+
+def default_config() -> LSMConfig:
+    """Small geometry so a few-thousand-op workload flushes and compacts."""
+    return LSMConfig(
+        memtable_bytes=4096,
+        sstable_target_bytes=4096,
+        block_bytes=512,
+        fan_out=4,
+        level1_capacity_bytes=8192,
+        max_levels=6,
+        bloom_bits_per_key=10,
+        slicelink_threshold=4,
+    )
+
+
+def build_operations(
+    num_ops: int,
+    num_keys: int,
+    seed: int = 0,
+    value_bytes: int = 32,
+) -> List[Operation]:
+    """A deterministic mixed workload: puts, deletes, batches, gets, scans.
+
+    Write-heavy (~70% puts) so the store flushes and compacts; batches
+    and deletes appear often enough that every crash-point class (torn
+    batch, tombstone replay) is exercised.
+    """
+    rng = random.Random(seed)
+    ops: List[Operation] = []
+    for index in range(num_ops):
+        key = _key(rng.randrange(num_keys))
+        roll = rng.random()
+        if roll < 0.70:
+            ops.append(("put", key, _value(index, value_bytes)))
+        elif roll < 0.80:
+            ops.append(("delete", key))
+        elif roll < 0.85:
+            entries = []
+            for offset in range(rng.randrange(2, 6)):
+                entry_key = _key(rng.randrange(num_keys))
+                if rng.random() < 0.2:
+                    entries.append((entry_key, None))
+                else:
+                    entries.append((entry_key, _value(index * 10 + offset, value_bytes)))
+            ops.append(("batch", tuple(entries)))
+        elif roll < 0.95:
+            ops.append(("get", key))
+        else:
+            ops.append(("scan", key, rng.randrange(1, 8)))
+    return ops
+
+
+def _key(index: int) -> bytes:
+    return str(index).zfill(12).encode()
+
+
+def _value(stamp: int, value_bytes: int) -> bytes:
+    body = f"v{stamp}-".encode()
+    return (body * (value_bytes // len(body) + 1))[:value_bytes]
+
+
+# ----------------------------------------------------------------------
+# Model application
+# ----------------------------------------------------------------------
+def _op_effect(op: Operation) -> Dict[bytes, Optional[bytes]]:
+    """Net key effects of a write op (empty for reads); None = deleted."""
+    kind = op[0]
+    if kind == "put":
+        return {op[1]: op[2]}
+    if kind == "delete":
+        return {op[1]: None}
+    if kind == "batch":
+        effect: Dict[bytes, Optional[bytes]] = {}
+        for key, value in op[1]:
+            effect[key] = value
+        return effect
+    return {}
+
+
+def _apply_to_model(model: Dict[bytes, bytes], op: Operation) -> None:
+    for key, value in _op_effect(op).items():
+        if value is None:
+            model.pop(key, None)
+        else:
+            model[key] = value
+
+
+def _execute(store: Union[DB, ShardedDB], op: Operation):
+    kind = op[0]
+    if kind == "put":
+        store.put(op[1], op[2])
+    elif kind == "delete":
+        store.delete(op[1])
+    elif kind == "batch":
+        _execute_batch(store, op[1])
+    elif kind == "get":
+        return store.get(op[1])
+    elif kind == "scan":
+        return store.scan(op[1], op[2])
+    else:  # pragma: no cover - workload generator bug
+        raise ReproError(f"unknown operation kind {kind!r}")
+    return None
+
+
+def _execute_batch(store: Union[DB, ShardedDB], entries) -> None:
+    if isinstance(store, ShardedDB):
+        # Per-shard sub-batches: atomicity holds within each shard (the
+        # documented sharded-batch semantics; cross-shard atomicity would
+        # need a commit protocol the paper's engine does not have).
+        buckets: Dict[int, WriteBatch] = {}
+        for key, value in entries:
+            batch = buckets.setdefault(store.shard_of(key), WriteBatch())
+            if value is None:
+                batch.delete(key)
+            else:
+                batch.put(key, value)
+        for index in sorted(buckets):
+            store.shards[index].write_batch(buckets[index])
+        return
+    batch = WriteBatch()
+    for key, value in entries:
+        if value is None:
+            batch.delete(key)
+        else:
+            batch.put(key, value)
+    store.write_batch(batch)
+
+
+# ----------------------------------------------------------------------
+# Store construction
+# ----------------------------------------------------------------------
+def _build_store(
+    policy_factory: PolicyFactory,
+    config: LSMConfig,
+    seed: int,
+    shards: int,
+    plans: Optional[List[Optional[FaultPlan]]],
+) -> Union[DB, ShardedDB]:
+    if shards <= 1:
+        plan = plans[0] if plans else None
+        return DB(config=config, policy=policy_factory(), seed=seed, fault_plan=plan)
+    return ShardedDB(
+        num_shards=shards,
+        policy_factory=policy_factory,
+        config=config,
+        seed=seed,
+        fault_plans=plans,
+    )
+
+
+def _devices(store: Union[DB, ShardedDB]) -> List:
+    if isinstance(store, ShardedDB):
+        return [shard.device for shard in store.shards]
+    return [store.device]
+
+
+def _logical(store: Union[DB, ShardedDB]) -> Dict[bytes, bytes]:
+    return dict(store.logical_items())
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass
+class ReferenceRun:
+    """Fault-free execution statistics used to enumerate crash points."""
+
+    shard_ios: List[int]
+    flushes: int
+    links: int
+    merges: int
+    final_items: int
+
+    @property
+    def total_ios(self) -> int:
+        return sum(self.shard_ios)
+
+
+@dataclass
+class CrashPointResult:
+    """Outcome of one crash-recover-verify cycle."""
+
+    io_index: int
+    shard: int
+    torn_fraction: float
+    fired: bool
+    crashed_at_op: Optional[int] = None
+    crash_category: Optional[str] = None
+    recovered_records: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+@dataclass
+class CrashTestReport:
+    """Aggregate verdict of a crash-point enumeration."""
+
+    policy: str
+    shards: int
+    stride: int
+    reference: ReferenceRun
+    results: List[CrashPointResult]
+
+    @property
+    def points_run(self) -> int:
+        return len(self.results)
+
+    @property
+    def points_fired(self) -> int:
+        return sum(1 for result in self.results if result.fired)
+
+    @property
+    def failures(self) -> List[CrashPointResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"crashtest policy={self.policy} shards={self.shards} "
+            f"stride={self.stride}",
+            f"reference: {self.reference.total_ios} I/Os, "
+            f"{self.reference.flushes} flushes, {self.reference.links} links, "
+            f"{self.reference.merges} merges, "
+            f"{self.reference.final_items} live keys",
+            f"crash points: {self.points_run} run, {self.points_fired} fired, "
+            f"{len(self.failures)} failed",
+        ]
+        for failure in self.failures[:10]:
+            lines.append(
+                f"  FAIL io={failure.io_index} shard={failure.shard} "
+                f"({failure.crash_category}): {'; '.join(failure.errors[:3])}"
+            )
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+@dataclass
+class CorruptionReport:
+    """Outcome of a seeded read-corruption sweep."""
+
+    policy: str
+    scheduled: int
+    delivered: int
+    detected: int
+    missed: int
+
+    @property
+    def ok(self) -> bool:
+        return self.delivered > 0 and self.detected == self.delivered and self.missed == 0
+
+    def summary(self) -> str:
+        return (
+            f"corruption policy={self.policy}: {self.scheduled} scheduled, "
+            f"{self.delivered} delivered, {self.detected} detected, "
+            f"{self.missed} missed -> {'PASS' if self.ok else 'FAIL'}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Reference run
+# ----------------------------------------------------------------------
+def run_reference(
+    operations: Sequence[Operation],
+    policy_factory: PolicyFactory,
+    config: Optional[LSMConfig] = None,
+    seed: int = 0,
+    shards: int = 1,
+) -> ReferenceRun:
+    """Fault-free run counting charged I/Os per shard device."""
+    config = config if config is not None else default_config()
+    plans: List[Optional[FaultPlan]] = [FaultPlan() for _ in range(max(1, shards))]
+    store = _build_store(policy_factory, config, seed, shards, plans)
+    for op in operations:
+        _execute(store, op)
+    engines = store.shards if isinstance(store, ShardedDB) else [store]
+    return ReferenceRun(
+        shard_ios=[device.io_count for device in _devices(store)],
+        flushes=sum(engine.engine_stats.flush_count for engine in engines),
+        links=sum(engine.engine_stats.link_count for engine in engines),
+        merges=sum(engine.engine_stats.merge_count for engine in engines),
+        final_items=len(_logical(store)),
+    )
+
+
+# ----------------------------------------------------------------------
+# One crash point
+# ----------------------------------------------------------------------
+def run_crash_point(
+    operations: Sequence[Operation],
+    policy_factory: PolicyFactory,
+    io_index: int,
+    *,
+    config: Optional[LSMConfig] = None,
+    seed: int = 0,
+    shards: int = 1,
+    shard: int = 0,
+    torn_fraction: float = 0.0,
+) -> CrashPointResult:
+    """Crash at one I/O index, recover, verify the oracle, finish the run."""
+    config = config if config is not None else default_config()
+    effective_shards = max(1, shards)
+    plans: List[Optional[FaultPlan]] = [None] * effective_shards
+    plans[shard] = FaultPlan().crash_at(io_index, torn_fraction=torn_fraction)
+    store = _build_store(policy_factory, config, seed, shards, plans)
+    result = CrashPointResult(
+        io_index=io_index, shard=shard, torn_fraction=torn_fraction, fired=False
+    )
+
+    model: Dict[bytes, bytes] = {}
+    pending: Optional[Operation] = None
+    pending_index = 0
+    for index, op in enumerate(operations):
+        try:
+            observed = _execute(store, op)
+        except SimulatedCrash as crash:
+            result.fired = True
+            result.crashed_at_op = index
+            result.crash_category = crash.category
+            pending = op
+            pending_index = index
+            break
+        if op[0] == "get" and observed != model.get(op[1]):
+            result.errors.append(
+                f"pre-crash get({op[1]!r}) = {observed!r}, model has "
+                f"{model.get(op[1])!r}"
+            )
+            return result
+        _apply_to_model(model, op)
+
+    if not result.fired:
+        # Crash index beyond the run's I/O count (stride overshoot or a
+        # diverged schedule): still a useful full-run consistency check.
+        _verify_final(store, model, result)
+        return result
+
+    try:
+        result.recovered_records = store.crash_and_recover()
+        store.check_invariants()
+    except ReproError as exc:
+        result.errors.append(f"recovery failed: {exc}")
+        return result
+
+    _verify_oracle(store, model, pending, result)
+    if result.errors:
+        return result
+
+    # Resume: retry the interrupted operation (legal — it was never
+    # acknowledged) and finish the workload, then require exact equality.
+    for op in operations[pending_index:]:
+        try:
+            _execute(store, op)
+        except ReproError as exc:
+            result.errors.append(f"post-recovery {op[0]} failed: {exc}")
+            return result
+        _apply_to_model(model, op)
+    _verify_final(store, model, result)
+    return result
+
+
+def _verify_oracle(
+    store: Union[DB, ShardedDB],
+    model: Dict[bytes, bytes],
+    pending: Optional[Operation],
+    result: CrashPointResult,
+) -> None:
+    """Durability + atomicity: acknowledged data intact, pending atomic.
+
+    Batch atomicity is checked per atomicity domain: the whole batch for
+    a single store, per owning shard for a :class:`ShardedDB` (a
+    cross-shard batch commits shard-by-shard — the documented sharded
+    semantics — so mixed old/new across *different* shards is legal).
+    """
+    observed = _logical(store)
+    effect = _op_effect(pending) if pending is not None else {}
+    sharded = isinstance(store, ShardedDB)
+    states: Dict[int, List[str]] = {}
+    for key in set(model) | set(observed) | set(effect):
+        old = model.get(key)
+        seen = observed.get(key)
+        if key in effect:
+            new = effect[key]
+            if seen == old and seen == new:
+                state = "both"
+            elif seen == old:
+                state = "old"
+            elif seen == new:
+                state = "new"
+            else:
+                result.errors.append(
+                    f"key {key!r}: observed {seen!r}, neither acknowledged "
+                    f"{old!r} nor in-flight {new!r}"
+                )
+                continue
+            domain = store.shard_of(key) if sharded else 0
+            states.setdefault(domain, []).append(state)
+        elif seen != old:
+            result.errors.append(
+                f"acknowledged key {key!r}: observed {seen!r} != {old!r}"
+            )
+    for domain, domain_states in states.items():
+        if "old" in domain_states and "new" in domain_states:
+            result.errors.append(
+                f"torn batch in atomicity domain {domain}: some keys show "
+                f"the old state, some the new"
+            )
+
+
+def _verify_final(
+    store: Union[DB, ShardedDB],
+    model: Dict[bytes, bytes],
+    result: CrashPointResult,
+) -> None:
+    try:
+        store.check_invariants()
+    except ReproError as exc:
+        result.errors.append(f"invariant violation: {exc}")
+        return
+    observed = _logical(store)
+    if observed != model:
+        missing = [k for k in model if k not in observed]
+        extra = [k for k in observed if k not in model]
+        wrong = [
+            k for k in model if k in observed and observed[k] != model[k]
+        ]
+        result.errors.append(
+            f"final state mismatch: {len(missing)} missing, {len(extra)} "
+            f"extra, {len(wrong)} wrong values"
+        )
+
+
+# ----------------------------------------------------------------------
+# Full enumeration
+# ----------------------------------------------------------------------
+def run_crashtest(
+    policy_factory: PolicyFactory,
+    *,
+    policy_name: str = "?",
+    num_ops: int = 2000,
+    num_keys: int = 200,
+    value_bytes: int = 32,
+    seed: int = 0,
+    stride: int = 1,
+    shards: int = 1,
+    config: Optional[LSMConfig] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> CrashTestReport:
+    """Enumerate crash points over one workload and verify each recovery.
+
+    ``stride`` samples every Nth I/O index (1 = exhaustive).  ``progress``
+    (points_done, points_total) is called after each crash point — the
+    CLI uses it for a live counter.
+    """
+    if stride <= 0:
+        raise ReproError("stride must be positive")
+    config = config if config is not None else default_config()
+    operations = build_operations(num_ops, num_keys, seed, value_bytes)
+    reference = run_reference(operations, policy_factory, config, seed, shards)
+
+    points: List[Tuple[int, int]] = []
+    for shard_index, shard_ios in enumerate(reference.shard_ios):
+        points.extend(
+            (shard_index, io) for io in range(1, shard_ios + 1, stride)
+        )
+
+    results: List[CrashPointResult] = []
+    for count, (shard_index, io_index) in enumerate(points):
+        results.append(
+            run_crash_point(
+                operations,
+                policy_factory,
+                io_index,
+                config=config,
+                seed=seed,
+                shards=shards,
+                shard=shard_index,
+                torn_fraction=TORN_CYCLE[count % len(TORN_CYCLE)],
+            )
+        )
+        if progress is not None:
+            progress(count + 1, len(points))
+    return CrashTestReport(
+        policy=policy_name,
+        shards=max(1, shards),
+        stride=stride,
+        reference=reference,
+        results=results,
+    )
+
+
+# ----------------------------------------------------------------------
+# Corruption sweep
+# ----------------------------------------------------------------------
+def run_corruption_test(
+    policy_factory: PolicyFactory,
+    *,
+    policy_name: str = "?",
+    num_ops: int = 1500,
+    num_keys: int = 150,
+    value_bytes: int = 32,
+    seed: int = 0,
+    corruptions: int = 25,
+    config: Optional[LSMConfig] = None,
+) -> CorruptionReport:
+    """Seed read corruptions across the workload; all must be detected.
+
+    Corrupt-read indices are spread over the first 80% of the reference
+    run's reads (an aborted operation shortens the schedule, so indices
+    near the tail might never be reached — scheduling conservatively
+    keeps ``delivered`` close to ``scheduled``).  The verdict requires
+    every *delivered* corruption to raise
+    :class:`~repro.errors.CorruptionError` and none to slip past a
+    decode path (``faults.corruptions_missed`` must stay zero).
+    """
+    config = config if config is not None else default_config()
+    operations = build_operations(num_ops, num_keys, seed, value_bytes)
+
+    probe = _build_store(policy_factory, config, seed, 1, [FaultPlan()])
+    for op in operations:
+        _execute(probe, op)
+    total_reads = probe.device.read_count
+    if total_reads == 0:
+        raise ReproError("workload performed no reads; cannot seed corruption")
+
+    usable = max(1, int(total_reads * 0.8))
+    count = min(corruptions, usable)
+    plan = FaultPlan()
+    step = max(1, usable // count)
+    for index in range(1, usable + 1, step):
+        plan.corrupt_read(index)
+    scheduled = plan.pending_corruptions
+
+    store = DB(config=config, policy=policy_factory(), seed=seed, fault_plan=plan)
+    detected = 0
+    for op in operations:
+        try:
+            _execute(store, op)
+        except CorruptionError:
+            detected += 1
+    delivered = int(store.registry.counter("faults.corrupted_blocks"))
+    missed = int(store.registry.counter("faults.corruptions_missed"))
+    return CorruptionReport(
+        policy=policy_name,
+        scheduled=scheduled,
+        delivered=delivered,
+        detected=detected,
+        missed=missed,
+    )

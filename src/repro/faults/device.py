@@ -1,0 +1,202 @@
+"""``FaultyDevice``: a fault-injecting decorator around ``SimulatedSSD``.
+
+The engine never knows it is being tested: the decorator exposes the same
+``read``/``write``/cost-query surface as the plain device, counts every
+charged request (globally and per category), and consults its
+:class:`~repro.faults.plan.FaultPlan` before forwarding:
+
+* an armed **crash point** raises :class:`~repro.errors.SimulatedCrash`
+  *before* the inner charge — the crashed I/O never reaches the media,
+  except for an optional torn prefix recorded on the exception;
+* a scheduled **transient error** fails the request ``k`` times, charging
+  the retry policy's backoff to the virtual clock each time, then lets it
+  through (or raises :class:`~repro.errors.PersistentIOError` once the
+  attempt budget is spent);
+* a scheduled **read corruption** performs the read normally but parks an
+  XOR mask that the decode path picks up via
+  :meth:`consume_read_corruption` and checks against the block CRC.
+
+Everything injected is observable: ``faults.*`` counters land in the
+shared metrics registry and each injection emits a trace event
+(``fault_crash`` / ``fault_transient`` / ``fault_corruption``).
+``faults.corruptions_missed`` deserves a note — it counts masks that were
+*delivered but never consumed*, i.e. a decode path that read a corrupted
+block without verifying it.  The corruption tests assert it stays zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .plan import FaultPlan
+from ..errors import PersistentIOError, SimulatedCrash, TransientIOError
+from ..obs.events import EV_FAULT_CORRUPTION, EV_FAULT_CRASH, EV_FAULT_TRANSIENT
+from ..ssd.device import SimulatedSSD
+
+# Registry keys for injected-fault accounting.
+CTR_CRASHES = "faults.crashes_injected"
+CTR_TORN_BYTES = "faults.torn_bytes"
+CTR_TRANSIENTS = "faults.transient_errors"
+CTR_RETRIES = "faults.retries"
+CTR_BACKOFF_US = "faults.backoff_time_us"
+CTR_PERSISTENT = "faults.persistent_errors"
+CTR_CORRUPTED = "faults.corrupted_blocks"
+CTR_CORRUPTIONS_MISSED = "faults.corruptions_missed"
+
+
+class FaultyDevice:
+    """Wrap a :class:`~repro.ssd.device.SimulatedSSD`, injecting faults.
+
+    The wrapper is transparent when the plan is empty: every request
+    forwards to the inner device with only integer counter bumps added,
+    so fault-free runs through a ``FaultyDevice`` cost the same virtual
+    time as runs on the bare device.
+    """
+
+    injects_faults = True
+
+    def __init__(self, inner: SimulatedSSD, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        #: Total charged I/Os so far (reads + writes), 1-based at test time.
+        self.io_count = 0
+        #: Total charged reads so far.
+        self.read_count = 0
+        #: Per-category I/O counts.
+        self.category_counts: Dict[str, int] = {}
+        #: XOR mask parked by the most recent corrupted read; handed to the
+        #: decode path exactly once via :meth:`consume_read_corruption`.
+        self._pending_mask = 0
+
+    # ------------------------------------------------------------------
+    # Transparent delegation
+    # ------------------------------------------------------------------
+    @property
+    def profile(self):
+        return self.inner.profile
+
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    @property
+    def registry(self):
+        return self.inner.registry
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @property
+    def tracer(self):
+        return self.inner.tracer
+
+    @property
+    def wear_bytes(self) -> int:
+        return self.inner.wear_bytes
+
+    def read_cost_us(self, nbytes: int, *, sequential: bool = False) -> float:
+        return self.inner.read_cost_us(nbytes, sequential=sequential)
+
+    def write_cost_us(self, nbytes: int, *, sequential: bool = False) -> float:
+        return self.inner.write_cost_us(nbytes, sequential=sequential)
+
+    # ------------------------------------------------------------------
+    # Charged operations with injection
+    # ------------------------------------------------------------------
+    def read(self, nbytes: int, category: str, *, sequential: bool = False) -> float:
+        self._before_io(category, nbytes, is_write=False)
+        elapsed = self.inner.read(nbytes, category, sequential=sequential)
+        self.read_count += 1
+        mask = self.plan.take_corruption(self.read_count)
+        if mask:
+            self._deliver_corruption(mask, category, nbytes)
+        return elapsed
+
+    def write(self, nbytes: int, category: str, *, sequential: bool = False) -> float:
+        self._before_io(category, nbytes, is_write=True)
+        return self.inner.write(nbytes, category, sequential=sequential)
+
+    # ------------------------------------------------------------------
+    # Corruption hand-off to decode paths
+    # ------------------------------------------------------------------
+    def consume_read_corruption(self) -> int:
+        """Return the parked XOR mask (0 if the last read was intact)."""
+        mask = self._pending_mask
+        self._pending_mask = 0
+        return mask
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _before_io(self, category: str, nbytes: int, *, is_write: bool) -> None:
+        # An unconsumed mask from an earlier read means some decode path
+        # used corrupted bytes without verifying them — record the escape.
+        if self._pending_mask:
+            self._pending_mask = 0
+            self.registry.add(CTR_CORRUPTIONS_MISSED)
+
+        self.io_count += 1
+        cat_index = self.category_counts.get(category, 0) + 1
+        self.category_counts[category] = cat_index
+
+        crash = self.plan.take_crash(self.io_count, category, cat_index)
+        if crash is not None:
+            torn = crash.torn_bytes(nbytes) if is_write else 0
+            self.registry.add(CTR_CRASHES)
+            if torn:
+                self.registry.add(CTR_TORN_BYTES, torn)
+            if self.tracer.active:
+                self.tracer.emit(
+                    EV_FAULT_CRASH,
+                    io_index=self.io_count,
+                    category=category,
+                    nbytes=nbytes,
+                    torn_bytes=torn,
+                )
+            raise SimulatedCrash(self.io_count, category, torn_bytes=torn)
+
+        failures = self.plan.take_transient(self.io_count)
+        if failures:
+            self._absorb_transients(failures, category, nbytes)
+
+    def _absorb_transients(self, failures: int, category: str, nbytes: int) -> None:
+        """Retry through ``failures`` scheduled errors or give up."""
+        retry = self.plan.retry
+        for attempt in range(failures):
+            self.registry.add(CTR_TRANSIENTS)
+            if self.tracer.active:
+                self.tracer.emit(
+                    EV_FAULT_TRANSIENT,
+                    io_index=self.io_count,
+                    category=category,
+                    nbytes=nbytes,
+                    attempt=attempt + 1,
+                )
+            if attempt + 1 >= retry.max_attempts:
+                self.registry.add(CTR_PERSISTENT)
+                raise PersistentIOError(
+                    f"I/O #{self.io_count} ({category}) still failing after "
+                    f"{retry.max_attempts} attempts"
+                ) from TransientIOError(
+                    f"transient failure {attempt + 1} on I/O #{self.io_count}"
+                )
+            backoff = retry.backoff_for_attempt(attempt)
+            self.clock.advance(backoff)
+            self.registry.add(CTR_RETRIES)
+            self.registry.add(CTR_BACKOFF_US, backoff)
+
+    def _deliver_corruption(self, mask: int, category: str, nbytes: int) -> None:
+        self._pending_mask = mask
+        self.registry.add(CTR_CORRUPTED)
+        if self.tracer.active:
+            self.tracer.emit(
+                EV_FAULT_CORRUPTION,
+                read_index=self.read_count,
+                category=category,
+                nbytes=nbytes,
+                mask=mask,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultyDevice(io_count={self.io_count}, plan={self.plan!r})"

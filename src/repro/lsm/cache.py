@@ -101,6 +101,15 @@ class BlockCache:
         self._used_bytes -= freed
         return freed
 
+    def cached_file_ids(self) -> set:
+        """File ids with at least one resident block.
+
+        ``DB.check_invariants`` asserts this set is a subset of the live
+        file ids — a stale entry would mean ``evict_file`` was skipped
+        when a compaction dropped the file.
+        """
+        return {key[0] for key in self._entries}
+
     @property
     def used_bytes(self) -> int:
         return self._used_bytes

@@ -134,6 +134,14 @@ class CompactionPolicy(ABC):
         """Policy-held space outside the tree (LDC's frozen region)."""
         return 0
 
+    def check_invariants(self) -> None:
+        """Verify policy-internal invariants; raise on violation.
+
+        Called by ``DB.check_invariants`` (the crash-test oracle).  The
+        default policies keep no state outside the version set, so there
+        is nothing to check; LDC verifies its frozen region here.
+        """
+
     # ------------------------------------------------------------------
     # Policy metrics
     # ------------------------------------------------------------------
@@ -154,10 +162,19 @@ class CompactionPolicy(ABC):
     # Shared mechanics
     # ------------------------------------------------------------------
     def read_inputs(self, tables: Sequence[SSTable]) -> None:
-        """Charge the sequential reads of whole input files."""
-        device = self._db.device
+        """Charge the sequential reads of whole input files.
+
+        Under fault injection each whole-file read is CRC-verified (all
+        blocks), so an injected bit flip surfaces as a
+        :class:`~repro.errors.CorruptionError` before the merge consumes
+        the data.
+        """
+        db = self._db
+        device = db.device
         for table in tables:
             device.read(table.data_size, COMPACTION_READ, sequential=True)
+            if db._faulty:
+                db._verify_block_read(table, range(table.num_blocks))
 
     def merge_table_streams(
         self,

@@ -44,11 +44,14 @@ from .stats import (
 )
 from .version import VersionSet
 from .wal import WriteAheadLog
-from ..errors import ClosedError, EngineError
+from ..errors import ClosedError, CorruptionError, EngineError, RecoveryError
+from ..faults.device import FaultyDevice
+from ..faults.plan import FaultPlan
 from ..obs.events import (
     EV_CACHE_HIT,
     EV_CACHE_MISS,
     EV_FLUSH,
+    EV_RECOVERY,
     EV_STALL,
 )
 from ..obs.registry import MetricsRegistry
@@ -80,6 +83,12 @@ class DB:
         compaction rounds, links/merges, stalls, cache probes, device
         I/O).  Defaults to an inert tracer; attach a sink — or pass
         ``Tracer([RingBufferSink()])`` — to start recording.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan`; when given, the
+        simulated device is wrapped in a
+        :class:`~repro.faults.device.FaultyDevice` that injects the
+        plan's crashes, corruption and transient errors, and the decode
+        paths verify block CRCs on every device read.
 
     Example
     -------
@@ -97,6 +106,7 @@ class DB:
         profile: SSDProfile = ENTERPRISE_PCIE,
         seed: int = 0,
         tracer: Optional[Tracer] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         from .compaction.leveled import LeveledCompaction  # default policy
 
@@ -108,6 +118,12 @@ class DB:
         self.device = SimulatedSSD(
             profile, registry=self.registry, tracer=self.tracer
         )
+        if fault_plan is not None:
+            self.device = FaultyDevice(self.device, fault_plan)
+        # Cached: read paths consult this once per device read to decide
+        # whether to run the CRC verification (always False on the plain
+        # device, so fault-free runs skip the checks entirely).
+        self._faulty = self.device.injects_faults
         self.clock = self.device.clock
         if self.tracer.clock is None:
             self.tracer.clock = self.clock
@@ -473,9 +489,34 @@ class DB:
                 nbytes=nbytes,
             )
         self.device.read(nbytes, USER_READ)
+        if self._faulty:
+            # Verify before the cache insert so a corrupt block is never
+            # served from memory later.
+            self._verify_block_read(table, (block_index,))
         self._count("engine.sstable_blocks_read")
         if cache is not None:
             cache.insert(table.file_id, block_index, nbytes)
+
+    def _verify_block_read(self, table: SSTable, block_indices) -> None:
+        """Check a just-charged device read of ``table`` blocks for corruption.
+
+        The fault-injecting device parks an XOR mask when it flipped bits
+        in the delivered copy; comparing the stored per-block CRCs against
+        the delivered ones (stored XOR mask) surfaces the flip as a typed
+        :class:`~repro.errors.CorruptionError`.
+        """
+        mask = self.device.consume_read_corruption()
+        if not mask:
+            return
+        expected = 0
+        for block_index in block_indices:
+            expected ^= table.block_crc(block_index)
+        self._count("faults.corruptions_detected")
+        raise CorruptionError(
+            f"file {table.file_id} block(s) {list(block_indices)} failed CRC "
+            f"verification: stored 0x{expected & 0xFFFFFFFF:08x}, "
+            f"read 0x{(expected ^ mask) & 0xFFFFFFFF:08x}"
+        )
 
     # ------------------------------------------------------------------
     # Range scans
@@ -546,6 +587,11 @@ class DB:
             self.device.read(
                 sum(nbytes for _, nbytes in blocks), USER_SCAN, sequential=True
             )
+            if self._faulty:
+                self._verify_block_read(table, [b for b, _ in blocks])
+            return
+        if self._faulty:
+            self._charge_range_read_verified(table, blocks, cache)
             return
         run_bytes = 0
         for block_index, nbytes in blocks:
@@ -559,6 +605,34 @@ class DB:
                 cache.insert(table.file_id, block_index, nbytes)
         if run_bytes:
             self.device.read(run_bytes, USER_SCAN, sequential=True)
+
+    def _charge_range_read_verified(self, table: SSTable, blocks, cache) -> None:
+        """Fault-aware variant of the cached range read.
+
+        Same coalescing as the fast path, but each run's blocks are only
+        installed in the cache *after* the device read passed CRC
+        verification — a corrupt run must not become future cache hits.
+        """
+        run_bytes = 0
+        run_blocks: List[Tuple[int, int]] = []
+        for block_index, nbytes in blocks:
+            if cache.lookup(table.file_id, block_index):
+                if run_bytes:
+                    self._read_verified_run(table, run_bytes, run_blocks, cache)
+                    run_bytes = 0
+                    run_blocks = []
+                self.clock.advance(self.config.costs.cache_hit_us)
+            else:
+                run_bytes += nbytes
+                run_blocks.append((block_index, nbytes))
+        if run_bytes:
+            self._read_verified_run(table, run_bytes, run_blocks, cache)
+
+    def _read_verified_run(self, table, run_bytes, run_blocks, cache) -> None:
+        self.device.read(run_bytes, USER_SCAN, sequential=True)
+        self._verify_block_read(table, [b for b, _ in run_blocks])
+        for block_index, nbytes in run_blocks:
+            cache.insert(table.file_id, block_index, nbytes)
 
     # ------------------------------------------------------------------
     # Introspection and maintenance
@@ -651,14 +725,35 @@ class DB:
         """Simulate a crash: drop the memtable, replay the WAL.
 
         Returns the number of records recovered.  Raises
-        :class:`EngineError` when the WAL is disabled (recovery would lose
-        the memtable contents).
+        :class:`~repro.errors.RecoveryError` when the WAL is disabled
+        (recovery would lose the memtable contents).
+
+        Recovery rebuilds every piece of engine state the dropped
+        memtable carried: the log is re-read from the device (charged as
+        ``wal_read``, torn tail units dropped), the surviving records are
+        bulk-loaded into a fresh memtable, and the next sequence number
+        is recomputed from the durable maximum — the highest sequence in
+        any live file, linked slice source, or replayed record — so that
+        post-recovery writes never reuse an acknowledged sequence.
         """
         self._check_open()
         if self._wal is None:
-            raise EngineError("cannot recover without a WAL")
+            raise RecoveryError(
+                "cannot recover without a WAL: the memtable contents are lost"
+            )
+        start = self.clock.now()
         records = self._wal.recover()
         self._memtable = MemTable(seed=self._seed)
+        # Durable maximum sequence: live tables, their slice sources
+        # (every frozen file is reachable through some in-tree file's
+        # slice_links while its refcount is non-zero), and the WAL.
+        max_seq = 0
+        for table in self.version.all_tables():
+            if table.max_seq > max_seq:
+                max_seq = table.max_seq
+            for piece in table.slice_links:
+                if piece.source.max_seq > max_seq:
+                    max_seq = piece.source.max_seq
         if records:
             # Replaying one-at-a-time re-searches the skip list per record;
             # instead sort by (key, seq), keep the newest version per key
@@ -671,7 +766,66 @@ class DB:
                 if nxt is None or nxt.key != record.key
             ]
             self._memtable.add_sorted_batch(newest)
+            if ordered[-1].seq > max_seq:
+                max_seq = max(record.seq for record in records)
+        self._next_seq = max_seq + 1
+        duration = self.clock.now() - start
+        self.engine_stats.charge_activity(ACT_WAL, duration)
+        self._count("engine.recoveries")
+        if records:
+            self._count("engine.recovered_records", len(records))
+        self.tracer.emit(
+            EV_RECOVERY,
+            records=len(records),
+            next_seq=self._next_seq,
+            duration_us=duration,
+        )
         return len(records)
+
+    def check_invariants(self) -> None:
+        """Verify cross-layer structural invariants; raise on violation.
+
+        The crash-test oracle: after every simulated crash + recovery
+        (and at the end of integration tests) the store must satisfy
+
+        * the version-set invariants — levels >= 1 sorted and
+          non-overlapping, byte counters consistent, no frozen file
+          resident in a level;
+        * every linked slice's source is frozen, and each frozen source's
+          refcount equals its live slice fan-in;
+        * the policy's own invariants (LDC checks its frozen region);
+        * every cached block belongs to a live file (resident in a level
+          or a still-referenced frozen source).
+        """
+        self._check_open()
+        self.version.check_invariants()
+        live_ids = set()
+        fan_in: dict = {}
+        sources: dict = {}
+        for table in self.version.all_tables():
+            live_ids.add(table.file_id)
+            for piece in table.slice_links:
+                source = piece.source
+                sources[source.file_id] = source
+                fan_in[source.file_id] = fan_in.get(source.file_id, 0) + 1
+        for file_id, source in sources.items():
+            live_ids.add(file_id)
+            if not source.frozen:
+                raise EngineError(
+                    f"slice source {file_id} is linked but not frozen"
+                )
+            if source.refcount != fan_in[file_id]:
+                raise EngineError(
+                    f"frozen file {file_id} refcount {source.refcount} != "
+                    f"live slice fan-in {fan_in[file_id]}"
+                )
+        self.policy.check_invariants()
+        if self.block_cache is not None:
+            stale = self.block_cache.cached_file_ids() - live_ids
+            if stale:
+                raise EngineError(
+                    f"block cache holds blocks of dead files {sorted(stale)}"
+                )
 
     def close(self) -> None:
         """Flush outstanding writes and refuse further operations.

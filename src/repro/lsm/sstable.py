@@ -18,6 +18,7 @@ Under LDC an SSTable can additionally carry:
 
 from __future__ import annotations
 
+import zlib
 from bisect import bisect_left, bisect_right
 from typing import List, Optional, Sequence, TYPE_CHECKING
 
@@ -56,6 +57,8 @@ class SSTable:
         "allowed_seeks",
         "min_key",
         "max_key",
+        "max_seq",
+        "_block_crcs",
     )
 
     def __init__(
@@ -124,6 +127,14 @@ class SSTable:
         self.linked_bytes = 0
         self.frozen = False
         self.refcount = 0
+        # Highest sequence number stored in this file.  Recovery rebuilds
+        # the engine's next-sequence counter from the max over live files
+        # (plus replayed WAL records), so acknowledged seqs never repeat.
+        self.max_seq = max(record.seq for record in records_list)
+        # Per-block CRCs, computed lazily: fault-free runs never pay for
+        # them, decode paths under fault injection verify against the
+        # device's delivered (possibly bit-flipped) copy.
+        self._block_crcs: Optional[List[Optional[int]]] = None
 
     @classmethod
     def from_records(
@@ -247,6 +258,37 @@ class SSTable:
         if stop <= start:
             return 0
         return self._size_prefix[stop] - self._size_prefix[start]
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def block_crc(self, block: int) -> int:
+        """CRC32 of one data block's records (computed lazily, cached).
+
+        Decode paths under fault injection compare this *stored* checksum
+        against the one delivered by the device (stored XOR the injected
+        bit-flip mask) and raise
+        :class:`~repro.errors.CorruptionError` on mismatch.
+        """
+        crcs = self._block_crcs
+        if crcs is None:
+            crcs = self._block_crcs = [None] * len(self._block_starts)
+        cached = crcs[block]
+        if cached is not None:
+            return cached
+        start = self._block_starts[block]
+        stop = (
+            self._block_starts[block + 1]
+            if block + 1 < len(self._block_starts)
+            else len(self._records)
+        )
+        crc = 0
+        for record in self._records[start:stop]:
+            crc = zlib.crc32(record.key, crc)
+            crc = zlib.crc32(record.value, crc)
+            crc = zlib.crc32(record.seq.to_bytes(8, "big"), crc)
+        crcs[block] = crc
+        return crc
 
     def block_bytes_in_range(self, lo: Optional[bytes], hi: Optional[bytes]) -> int:
         """Device bytes needed to read every record in ``[lo, hi)``.

@@ -30,9 +30,13 @@ from .events import (
     EV_COMPACTION_ROUND,
     EV_DEVICE_READ,
     EV_DEVICE_WRITE,
+    EV_FAULT_CORRUPTION,
+    EV_FAULT_CRASH,
+    EV_FAULT_TRANSIENT,
     EV_FLUSH,
     EV_LINK,
     EV_MERGE,
+    EV_RECOVERY,
     EV_STALL,
     EV_TRIVIAL_MOVE,
     TraceEvent,
@@ -74,4 +78,8 @@ __all__ = [
     "EV_CACHE_MISS",
     "EV_DEVICE_READ",
     "EV_DEVICE_WRITE",
+    "EV_RECOVERY",
+    "EV_FAULT_CRASH",
+    "EV_FAULT_TRANSIENT",
+    "EV_FAULT_CORRUPTION",
 ]

@@ -26,6 +26,10 @@ EV_CACHE_HIT = "cache_hit"  # block served from the block cache
 EV_CACHE_MISS = "cache_miss"  # block fetched from the device
 EV_DEVICE_READ = "device_read"  # one device read transfer
 EV_DEVICE_WRITE = "device_write"  # one device write transfer
+EV_RECOVERY = "recovery"  # crash recovery: WAL replayed into a fresh memtable
+EV_FAULT_CRASH = "fault_crash"  # injected crash point fired
+EV_FAULT_TRANSIENT = "fault_transient"  # injected transient I/O error (retried)
+EV_FAULT_CORRUPTION = "fault_corruption"  # injected read corruption delivered
 
 ALL_EVENT_KINDS: Tuple[str, ...] = (
     EV_FLUSH,
@@ -38,6 +42,10 @@ ALL_EVENT_KINDS: Tuple[str, ...] = (
     EV_CACHE_MISS,
     EV_DEVICE_READ,
     EV_DEVICE_WRITE,
+    EV_RECOVERY,
+    EV_FAULT_CRASH,
+    EV_FAULT_TRANSIENT,
+    EV_FAULT_CORRUPTION,
 )
 
 

@@ -31,6 +31,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from .partition import Partitioner, make_partitioner
 from ..errors import ConfigError, ReproError
+from ..faults.plan import FaultPlan
 from ..lsm.config import LSMConfig
 from ..lsm.db import DB
 from ..obs.aggregate import aggregate_snapshots, combined_view
@@ -82,6 +83,11 @@ class ShardedDB:
     seed:
         Base seed; shard ``i`` uses ``seed + i`` so shard memtables are
         independent but the whole fleet is reproducible.
+    fault_plans:
+        Optional per-shard :class:`~repro.faults.plan.FaultPlan` sequence
+        (``None`` entries leave that shard fault-free).  Each shard owns
+        its own device, so plans are independent — the crash-point
+        harness arms one shard at a time.
     """
 
     def __init__(
@@ -94,6 +100,7 @@ class ShardedDB:
         config: Optional[LSMConfig] = None,
         profile: SSDProfile = ENTERPRISE_PCIE,
         seed: int = 0,
+        fault_plans: Optional[Sequence[Optional["FaultPlan"]]] = None,
     ) -> None:
         if num_shards <= 0:
             raise ConfigError("num_shards must be positive")
@@ -102,6 +109,11 @@ class ShardedDB:
         if partitioner.num_shards != num_shards:
             raise ConfigError(
                 f"partitioner covers {partitioner.num_shards} shards, "
+                f"engine has {num_shards}"
+            )
+        if fault_plans is not None and len(fault_plans) != num_shards:
+            raise ConfigError(
+                f"fault_plans covers {len(fault_plans)} shards, "
                 f"engine has {num_shards}"
             )
         self.partitioner = partitioner
@@ -113,6 +125,7 @@ class ShardedDB:
                 policy=policy_factory(),
                 profile=profile,
                 seed=seed + index,
+                fault_plan=fault_plans[index] if fault_plans is not None else None,
             )
             for index in range(num_shards)
         ]
@@ -188,6 +201,20 @@ class ShardedDB:
         """Drain outstanding maintenance on every shard."""
         for shard in self.shards:
             shard.policy.maybe_compact()
+
+    def crash_and_recover(self) -> int:
+        """Crash-recover every shard; returns total records replayed.
+
+        Shards share nothing, so fleet recovery is per-shard recovery in
+        shard order (a real deployment would recover them in parallel;
+        virtual clocks make the order irrelevant here).
+        """
+        return sum(shard.crash_and_recover() for shard in self.shards)
+
+    def check_invariants(self) -> None:
+        """Run every shard's cross-layer invariant checks."""
+        for shard in self.shards:
+            shard.check_invariants()
 
     def logical_items(self) -> List[Tuple[bytes, bytes]]:
         """Every live pair fleet-wide, key-ordered, off the clock."""

@@ -36,6 +36,13 @@ from ..obs.tracer import Tracer
 class SimulatedSSD:
     """A virtual-time flash device shared by one database instance.
 
+    Fault injection: the engine is written against this interface, and
+    :class:`~repro.faults.device.FaultyDevice` decorates an instance to
+    inject crashes, corruption and transient errors.  The two hooks below
+    (:attr:`injects_faults`, :meth:`consume_read_corruption`) exist so the
+    engine's decode paths can stay fault-aware at near-zero cost when no
+    faults are configured.
+
     Parameters
     ----------
     profile:
@@ -52,6 +59,10 @@ class SimulatedSSD:
         Event tracer for per-transfer ``device_read``/``device_write``
         events; an inert (sink-less) tracer is created when omitted.
     """
+
+    #: True on devices that may inject faults (``FaultyDevice``).  The DB
+    #: caches this flag so fault-free read paths skip the corruption check.
+    injects_faults = False
 
     def __init__(
         self,
@@ -117,6 +128,21 @@ class SimulatedSSD:
                 sequential=sequential,
             )
         return elapsed
+
+    # ------------------------------------------------------------------
+    # Fault-injection hooks (inert on the plain device)
+    # ------------------------------------------------------------------
+    def consume_read_corruption(self) -> int:
+        """XOR mask the last read's bit flips applied to its block CRC.
+
+        The plain device never corrupts, so this is always 0.  A
+        :class:`~repro.faults.device.FaultyDevice` returns a non-zero mask
+        exactly once per injected corruption; decode paths call this right
+        after charging a read and verify the delivered checksum against
+        the stored one, raising
+        :class:`~repro.errors.CorruptionError` on mismatch.
+        """
+        return 0
 
     # ------------------------------------------------------------------
     @property

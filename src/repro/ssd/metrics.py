@@ -24,6 +24,7 @@ from ..obs.registry import MetricsRegistry
 USER_READ = "user_read"
 USER_SCAN = "user_scan"
 WAL_WRITE = "wal_write"
+WAL_READ = "wal_read"
 FLUSH_WRITE = "flush_write"
 COMPACTION_READ = "compaction_read"
 COMPACTION_WRITE = "compaction_write"
@@ -32,6 +33,7 @@ ALL_CATEGORIES: Tuple[str, ...] = (
     USER_READ,
     USER_SCAN,
     WAL_WRITE,
+    WAL_READ,
     FLUSH_WRITE,
     COMPACTION_READ,
     COMPACTION_WRITE,

@@ -7,10 +7,21 @@ from repro.cli import EXPERIMENTS, build_parser, main
 
 class TestParser:
     def test_defaults(self):
+        """--ops/--keys resolve per subcommand in main(); unset here."""
         args = build_parser().parse_args(["fig08"])
         assert args.experiment == "fig08"
-        assert args.ops == 20_000
-        assert args.keys == 8_000
+        assert args.ops is None
+        assert args.keys is None
+
+    def test_crashtest_args(self):
+        args = build_parser().parse_args(
+            ["crashtest", "--policy", "ldc", "--every", "25", "--shards", "2"]
+        )
+        assert args.experiment == "crashtest"
+        assert args.policy == "ldc"
+        assert args.every == 25
+        assert args.shards == 2
+        assert args.corrupt == 25
 
     def test_overrides(self):
         args = build_parser().parse_args(["fig14", "--ops", "500", "--keys", "100"])

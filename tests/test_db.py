@@ -3,7 +3,7 @@
 import pytest
 
 from repro import DB, LDCPolicy, LeveledCompaction
-from repro.errors import ClosedError, EngineError
+from repro.errors import ClosedError, EngineError, RecoveryError
 from repro.lsm.config import LSMConfig
 from repro.ssd.profile import BALANCED_FLASH
 
@@ -130,8 +130,53 @@ class TestFlushAndWAL:
         config = tiny_config.with_overrides(wal_enabled=False)
         db = DB(config=config, policy=LeveledCompaction())
         db.put(b"k", b"v")
-        with pytest.raises(EngineError, match="WAL"):
+        with pytest.raises(RecoveryError, match="WAL"):
             db.crash_and_recover()
+        # The typed error still satisfies catch-all engine handling.
+        assert issubclass(RecoveryError, EngineError)
+
+    def test_recovery_rebuilds_sequence_number(self, udc_db):
+        """Satellite: _next_seq is recomputed from the durable maximum."""
+        for index in range(30):
+            udc_db.put(key_of(index), b"v" * 50)
+        last = udc_db.last_sequence
+        udc_db.crash_and_recover()
+        assert udc_db.last_sequence == last
+        udc_db.put(b"after", b"x")
+        assert udc_db.last_sequence == last + 1
+
+    def test_recovery_counts_and_charges(self, udc_db):
+        from repro.ssd.metrics import WAL_READ
+
+        udc_db.put(b"a", b"1")
+        udc_db.put(b"b", b"2")
+        recovered = udc_db.crash_and_recover()
+        assert recovered == 2
+        snap = udc_db.metrics()
+        assert snap.get("engine.recoveries") == 1
+        assert snap.get("engine.recovered_records") == 2
+        assert snap.get(f"device.read.{WAL_READ}.bytes") > 0
+
+    def test_recovery_emits_trace_event(self, tiny_config):
+        from repro.obs import EV_RECOVERY, RingBufferSink, Tracer
+
+        ring = RingBufferSink()
+        db = DB(
+            config=tiny_config,
+            policy=LeveledCompaction(),
+            tracer=Tracer([ring]),
+        )
+        db.put(b"k", b"v")
+        db.crash_and_recover()
+        kinds = [event.kind for event in ring.events]
+        assert EV_RECOVERY in kinds
+
+    def test_check_invariants_on_healthy_store(self, any_db):
+        for index in range(200):
+            any_db.put(key_of(index), b"v" * 60)
+        any_db.check_invariants()
+        any_db.crash_and_recover()
+        any_db.check_invariants()
 
     def test_wal_disabled_writes_cheaper(self, tiny_config):
         timings = {}

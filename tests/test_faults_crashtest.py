@@ -1,0 +1,197 @@
+"""Tests for the crash-point enumeration harness (repro.faults.crashtest)."""
+
+import pytest
+
+from repro import DelayedCompaction, LDCPolicy, LeveledCompaction, TieredCompaction
+from repro.faults import crashtest
+from repro.lsm.config import LSMConfig
+
+
+def small_config() -> LSMConfig:
+    """Even smaller geometry than the harness default: fast exhaustive runs."""
+    return LSMConfig(
+        memtable_bytes=1024,
+        sstable_target_bytes=1024,
+        block_bytes=256,
+        fan_out=4,
+        level1_capacity_bytes=2048,
+        max_levels=6,
+        bloom_bits_per_key=10,
+        slicelink_threshold=4,
+    )
+
+
+class TestWorkloadGenerator:
+    def test_deterministic(self):
+        a = crashtest.build_operations(300, 50, seed=7)
+        b = crashtest.build_operations(300, 50, seed=7)
+        assert a == b
+        c = crashtest.build_operations(300, 50, seed=8)
+        assert a != c
+
+    def test_mixes_all_op_kinds(self):
+        kinds = {op[0] for op in crashtest.build_operations(500, 50, seed=0)}
+        assert kinds == {"put", "delete", "batch", "get", "scan"}
+
+    def test_op_effect_batch(self):
+        op = ("batch", ((b"a", b"1"), (b"b", None), (b"a", b"2")))
+        assert crashtest._op_effect(op) == {b"a": b"2", b"b": None}
+        assert crashtest._op_effect(("get", b"a")) == {}
+
+
+class TestReferenceRun:
+    def test_counts_ios_and_maintenance(self):
+        ops = crashtest.build_operations(400, 60, seed=1)
+        ref = crashtest.run_reference(
+            ops, LeveledCompaction, config=small_config(), seed=1
+        )
+        assert ref.total_ios > 0
+        assert ref.flushes >= 1
+        assert 0 < ref.final_items <= 60
+
+    def test_ldc_reference_links_and_merges(self):
+        """The default acceptance geometry drives LDC links AND merges."""
+        ops = crashtest.build_operations(2000, 200, seed=0)
+        ref = crashtest.run_reference(ops, LDCPolicy, seed=0)
+        assert ref.flushes >= 1
+        assert ref.links >= 1
+        assert ref.merges >= 1
+
+
+class TestCrashPoints:
+    def test_single_point_fires_and_recovers(self):
+        ops = crashtest.build_operations(300, 50, seed=2)
+        result = crashtest.run_crash_point(
+            ops, LeveledCompaction, 10, config=small_config(), seed=2
+        )
+        assert result.fired
+        assert result.crash_category is not None
+        assert result.ok, result.errors
+
+    def test_overshoot_index_never_fires(self):
+        ops = crashtest.build_operations(50, 20, seed=3)
+        result = crashtest.run_crash_point(
+            ops, LeveledCompaction, 10**9, config=small_config(), seed=3
+        )
+        assert not result.fired
+        assert result.ok, result.errors
+
+    @pytest.mark.parametrize("torn", [0.0, 0.5, 1.0])
+    def test_torn_fractions_recover(self, torn):
+        ops = crashtest.build_operations(300, 50, seed=4)
+        result = crashtest.run_crash_point(
+            ops,
+            LeveledCompaction,
+            5,
+            config=small_config(),
+            seed=4,
+            torn_fraction=torn,
+        )
+        assert result.fired
+        assert result.ok, result.errors
+
+
+class TestFullEnumeration:
+    @pytest.mark.parametrize(
+        "factory, name",
+        [
+            (LeveledCompaction, "udc"),
+            (LDCPolicy, "ldc"),
+            (TieredCompaction, "tiered"),
+            (DelayedCompaction, "delayed"),
+        ],
+    )
+    def test_exhaustive_small_run(self, factory, name):
+        report = crashtest.run_crashtest(
+            factory,
+            policy_name=name,
+            num_ops=220,
+            num_keys=40,
+            seed=0,
+            stride=1,
+            config=small_config(),
+        )
+        assert report.points_run == report.reference.total_ios
+        assert report.points_fired == report.points_run
+        assert report.ok, report.summary()
+        assert "PASS" in report.summary()
+
+    def test_stride_samples(self):
+        report = crashtest.run_crashtest(
+            LeveledCompaction,
+            policy_name="udc",
+            num_ops=220,
+            num_keys=40,
+            seed=0,
+            stride=7,
+            config=small_config(),
+        )
+        expected = len(range(1, report.reference.shard_ios[0] + 1, 7))
+        assert report.points_run == expected
+        assert report.ok, report.summary()
+
+    def test_progress_callback(self):
+        seen = []
+        crashtest.run_crashtest(
+            LeveledCompaction,
+            num_ops=120,
+            num_keys=30,
+            stride=11,
+            config=small_config(),
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen
+        assert seen[-1][0] == seen[-1][1] == len(seen)
+
+    def test_invalid_stride_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            crashtest.run_crashtest(LeveledCompaction, stride=0)
+
+
+class TestShardedCrashtest:
+    def test_sharded_enumeration(self):
+        """One shard armed per point; fleet recovery keeps the oracle."""
+        report = crashtest.run_crashtest(
+            LeveledCompaction,
+            policy_name="udc",
+            num_ops=300,
+            num_keys=400,  # wide key space so per-shard memtables fill
+            seed=0,
+            stride=17,
+            shards=2,
+            config=small_config(),
+        )
+        assert report.shards == 2
+        armed = {result.shard for result in report.results}
+        assert armed == {0, 1}
+        assert report.ok, report.summary()
+
+    def test_sharded_reference_counts_all_devices(self):
+        ops = crashtest.build_operations(200, 300, seed=0)
+        ref = crashtest.run_reference(
+            ops, LeveledCompaction, config=small_config(), seed=0, shards=2
+        )
+        assert len(ref.shard_ios) == 2
+        assert all(ios > 0 for ios in ref.shard_ios)
+
+
+class TestCorruptionSweep:
+    @pytest.mark.parametrize("factory, name", [(LeveledCompaction, "udc"), (LDCPolicy, "ldc")])
+    def test_all_delivered_corruptions_detected(self, factory, name):
+        report = crashtest.run_corruption_test(
+            factory,
+            policy_name=name,
+            num_ops=400,
+            num_keys=60,
+            seed=0,
+            corruptions=10,
+            config=small_config(),
+        )
+        assert report.scheduled > 0
+        assert report.delivered > 0
+        assert report.detected == report.delivered
+        assert report.missed == 0
+        assert report.ok
+        assert "PASS" in report.summary()

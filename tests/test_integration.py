@@ -68,6 +68,7 @@ class TestPolicyEquivalence:
         for name, factory in POLICY_FACTORIES.items():
             db = DB(config=CONFIG, policy=factory())
             model = apply_stream(db, spec)
+            db.check_invariants()
             contents[name] = dict(db.logical_items())
             assert contents[name] == model, f"{name} diverged from the model"
         assert contents["udc"] == contents["ldc"] == contents["tiered"]
@@ -106,8 +107,7 @@ class TestFullStack:
             seed=33,
         )
         model = apply_stream(db, spec)
-        db.version.check_invariants()
-        db.policy.check_invariants()
+        db.check_invariants()
         assert dict(db.logical_items()) == model
         # Spot-check reads through the public API.
         for key in list(model)[:100]:
@@ -123,6 +123,7 @@ class TestFullStack:
             seed=44,
         ).with_overrides(query_type="scan", scan_length=8)
         model = apply_stream(db, spec)
+        db.check_invariants()
         expected = sorted(model.items())[:8]
         assert db.scan(b"0" * 16, 8) == expected
 

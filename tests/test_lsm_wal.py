@@ -60,3 +60,112 @@ class TestWAL:
         recovered = wal.recover()
         recovered.clear()
         assert wal.unflushed_count == 1
+
+
+class TestWALRecoveryIO:
+    """Satellite: WAL replay is charged device I/O, not a free list copy."""
+
+    def test_recover_charges_wal_read(self, wal):
+        from repro.ssd.metrics import WAL_READ
+
+        records = [put_record(str(i).encode(), b"v" * 50, i) for i in range(4)]
+        for record in records:
+            wal.append(record)
+        stored = wal.unflushed_bytes
+        assert wal._device.stats.bytes_read(WAL_READ) == 0
+        before = wal._device.clock.now()
+        wal.recover()
+        assert wal._device.stats.bytes_read(WAL_READ) == stored
+        assert wal._device.clock.now() > before
+
+    def test_recover_empty_log_is_free(self, wal):
+        from repro.ssd.metrics import WAL_READ
+
+        wal.recover()
+        assert wal._device.stats.bytes_read(WAL_READ) == 0
+
+    def test_recover_charges_on_every_call(self, wal):
+        """Each simulated restart re-reads the log image."""
+        from repro.ssd.metrics import WAL_READ
+
+        wal.append(put_record(b"k", b"v", 1))
+        wal.recover()
+        wal.recover()
+        assert (
+            wal._device.stats.bytes_read(WAL_READ) == 2 * wal.unflushed_bytes
+        )
+
+
+class TestWALTornTails:
+    """Write-ahead ordering and torn-unit handling under injected crashes."""
+
+    def _faulty_wal(self, plan):
+        from repro.faults.device import FaultyDevice
+        from repro.lsm.wal import WriteAheadLog
+        from repro.ssd.device import SimulatedSSD
+
+        device = FaultyDevice(SimulatedSSD(ENTERPRISE_PCIE), plan)
+        return WriteAheadLog(device)
+
+    def test_crashed_append_is_not_replayed(self):
+        from repro.errors import SimulatedCrash
+        from repro.faults.plan import FaultPlan
+
+        wal = self._faulty_wal(FaultPlan().crash_at(2))
+        first = put_record(b"a", b"1", 1)
+        wal.append(first)
+        with pytest.raises(SimulatedCrash):
+            wal.append(put_record(b"b", b"2", 2))
+        # Write-ahead ordering: the crashed record never became durable.
+        assert wal.recover() == [first]
+
+    def test_torn_append_keeps_partial_bytes_but_drops_record(self):
+        from repro.errors import SimulatedCrash
+        from repro.faults.plan import FaultPlan
+
+        wal = self._faulty_wal(FaultPlan().crash_at(1, torn_fraction=0.5))
+        record = put_record(b"a", b"x" * 100, 1)
+        with pytest.raises(SimulatedCrash):
+            wal.append(record)
+        assert wal.has_torn_tail
+        # Half the unit survived on media...
+        assert 0 < wal.unflushed_bytes < record.encoded_size
+        # ...but recovery drops the torn unit entirely.
+        assert wal.recover() == []
+        registry = wal._device.registry
+        assert registry.counter("faults.torn_records_dropped") == 1
+
+    def test_torn_batch_is_all_or_nothing(self):
+        from repro.errors import SimulatedCrash
+        from repro.faults.plan import FaultPlan
+
+        wal = self._faulty_wal(FaultPlan().crash_at(2, torn_fraction=0.9))
+        wal.append(put_record(b"a", b"1", 1))
+        batch = [put_record(b"b", b"2", 2), put_record(b"c", b"3", 3)]
+        total = sum(record.encoded_size for record in batch)
+        with pytest.raises(SimulatedCrash):
+            wal.append_batch(batch, total)
+        # The 90%-torn batch contributes no records: all-or-nothing.
+        recovered = wal.recover()
+        assert [record.key for record in recovered] == [b"a"]
+
+    def test_fully_torn_write_still_dropped(self):
+        """torn_fraction=1.0: all bytes hit media but the commit was lost."""
+        from repro.errors import SimulatedCrash
+        from repro.faults.plan import FaultPlan
+
+        wal = self._faulty_wal(FaultPlan().crash_at(1, torn_fraction=1.0))
+        record = put_record(b"a", b"x" * 40, 1)
+        with pytest.raises(SimulatedCrash):
+            wal.append(record)
+        assert wal.unflushed_bytes == record.encoded_size
+        assert wal.recover() == []
+
+    def test_corrupted_replay_raises(self):
+        from repro.errors import CorruptionError
+        from repro.faults.plan import FaultPlan
+
+        wal = self._faulty_wal(FaultPlan().corrupt_read(1))
+        wal.append(put_record(b"a", b"1", 1))
+        with pytest.raises(CorruptionError, match="checksum"):
+            wal.recover()
