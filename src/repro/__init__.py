@@ -19,6 +19,11 @@ The library provides:
   independent stores (hash or range) behind the single-store API, and
   :func:`~repro.shard.runner.run_sharded_workload` executes workloads
   shard-parallel with bit-identical deterministic aggregation;
+* :mod:`repro.sched` — the deterministic virtual-time compaction
+  scheduler: with ``LSMConfig(bg_threads=N)`` compaction rounds become
+  chunked background work units sharing device bandwidth with the
+  foreground, and writes observe LevelDB-style L0 slowdown/stop
+  throttling (docs/SCHEDULING.md);
 * :mod:`repro.obs` — the observability layer: structured event tracing
   (:class:`~repro.obs.tracer.Tracer` with ring-buffer and JSON-lines
   sinks), the metrics registry behind every counter, frozen diffable
@@ -63,6 +68,7 @@ from .obs import (
     TraceEvent,
     Tracer,
 )
+from .sched import CompactionScheduler, DeviceChannel
 from .shard import (
     HashPartitioner,
     RangePartitioner,
@@ -100,6 +106,8 @@ __all__ = [
     "Slice",
     "FrozenRegion",
     "AdaptiveThreshold",
+    "CompactionScheduler",
+    "DeviceChannel",
     "SimClock",
     "SimulatedSSD",
     "SSDProfile",

@@ -10,6 +10,8 @@ Usage::
     python -m repro bench --quick              # wall-clock perf suite
     python -m repro bench --compare BENCH_a.json BENCH_b.json
     python -m repro run RWB --shards 4 --workers 4   # sharded execution
+    python -m repro run RWB --bg-threads 2 --slowdown-l0 8 --stop-l0 12
+    python -m repro fig01s --ops 12000              # scheduled interference
     python -m repro crashtest --policy ldc --every 25   # crash-consistency sweep
 
 The heavy lifting lives in :mod:`repro.harness.experiments`; this module
@@ -85,6 +87,31 @@ def _run_fig01(ops: int, keys: int) -> None:
     ]
     print(format_table(["bucket", "ops", "mean latency us"], rows, title="fig01"))
     print(f"fluctuation ratio: {out['fluctuation_ratio']:.1f}x (paper: up to 49.13x)")
+
+
+def _run_fig01s(ops: int, keys: int) -> None:
+    out = experiments.fig01_scheduled_interference(ops=ops, key_space=keys)
+    spreads = out["p99_p50_spread"]
+    rows = [
+        (
+            policy,
+            round(spreads[policy], 2),
+            round(out["stall_time_us"][policy] / 1e3, 1),
+            round(out["device_wait_us"][policy] / 1e3, 1),
+        )
+        for policy in sorted(spreads)
+    ]
+    print(
+        format_table(
+            ["policy", "write p99/p50", "stall ms", "device wait ms"],
+            rows,
+            title=f"fig01s (bg_threads={out['bg_threads']})",
+        )
+    )
+    print(
+        "scheduled interference: UDC spread should exceed LDC's "
+        "(background compaction chunks share the device channel)"
+    )
 
 
 def _run_tab1(ops: int, keys: int) -> None:
@@ -243,8 +270,16 @@ def run_sharded_cli(
     shards: int,
     workers: int,
     partitioner: str,
+    bg_threads: int = 0,
+    slowdown_l0: Optional[int] = None,
+    stop_l0: Optional[int] = None,
 ) -> int:
-    """Run one Table III workload across a sharded engine and report it."""
+    """Run one Table III workload across a sharded engine and report it.
+
+    ``bg_threads >= 1`` turns on the virtual-time compaction scheduler
+    per shard; ``slowdown_l0``/``stop_l0`` override the L0 write-throttle
+    thresholds (docs/SCHEDULING.md).
+    """
     from .shard.runner import run_sharded_workload
     from .workload.spec import TABLE_III
 
@@ -259,6 +294,11 @@ def run_sharded_cli(
         known = ", ".join(TRACE_POLICIES)
         print(f"unknown policy {policy!r}; known: {known}", file=sys.stderr)
         return 2
+    overrides: Dict[str, object] = {"bg_threads": bg_threads}
+    if slowdown_l0 is not None:
+        overrides["l0_slowdown_trigger"] = slowdown_l0
+    if stop_l0 is not None:
+        overrides["l0_stop_trigger"] = stop_l0
     spec = spec_factory(num_operations=ops, key_space=keys)
     try:
         report = run_sharded_workload(
@@ -267,7 +307,7 @@ def run_sharded_cli(
             num_shards=shards,
             partitioner=partitioner,
             workers=workers,
-            config=experiments.experiment_config(),
+            config=experiments.experiment_config(**overrides),
         )
     except Exception as exc:  # ConfigError: bad shard/partitioner combo
         print(str(exc), file=sys.stderr)
@@ -286,6 +326,22 @@ def run_sharded_cli(
         ("p99.9 latency us", round(report.latencies.percentile(99.9), 1)),
         ("wall seconds", round(report.wall_s, 3)),
     ]
+    if bg_threads >= 1:
+        counters = snap.counters
+        highlights.extend(
+            [
+                ("bg tasks completed", int(counters.get("sched.tasks_completed", 0))),
+                ("stall ms", round(counters.get("sched.stall_time_us", 0) / 1e3, 1)),
+                (
+                    "slowdown ms",
+                    round(counters.get("sched.slowdown_time_us", 0) / 1e3, 1),
+                ),
+                (
+                    "device wait ms",
+                    round(counters.get("sched.device_wait_us", 0) / 1e3, 1),
+                ),
+            ]
+        )
     print(format_table(["metric", "value"], highlights, title="aggregate"))
     rows = [
         (
@@ -452,6 +508,7 @@ def run_bench_cli(
 
 EXPERIMENTS: Dict[str, Callable[[int, int], None]] = {
     "fig01": _run_fig01,
+    "fig01s": _run_fig01s,
     "tab1": _run_tab1,
     "fig07": _matrix_runner(experiments.fig07_fanout_udc),
     "fig08": _run_fig08,
@@ -562,6 +619,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="keyspace partitioning strategy ('run' only)",
     )
     parser.add_argument(
+        "--bg-threads",
+        type=int,
+        default=0,
+        metavar="N",
+        help="background compaction threads per shard; >= 1 turns on the "
+        "virtual-time scheduler ('run' only, default 0 = off)",
+    )
+    parser.add_argument(
+        "--slowdown-l0",
+        type=int,
+        default=None,
+        metavar="N",
+        help="L0 file count that starts per-write slowdown delays "
+        "('run' only, default from LSMConfig)",
+    )
+    parser.add_argument(
+        "--stop-l0",
+        type=int,
+        default=None,
+        metavar="N",
+        help="L0 file count that stalls writes until compaction catches up "
+        "('run' only, default from LSMConfig)",
+    )
+    parser.add_argument(
         "--every",
         type=int,
         default=1,
@@ -656,6 +737,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             shards=args.shards,
             workers=args.workers or 1,
             partitioner=args.partitioner,
+            bg_threads=args.bg_threads,
+            slowdown_l0=args.slowdown_l0,
+            stop_l0=args.stop_l0,
         )
     if args.experiment == "trace":
         if args.workload is None:

@@ -95,6 +95,18 @@ class FaultyDevice:
     def wear_bytes(self) -> int:
         return self.inner.wear_bytes
 
+    @property
+    def channel(self):
+        """The inner device's bandwidth arbiter (see ``repro.sched``)."""
+        return self.inner.channel
+
+    @channel.setter
+    def channel(self, value) -> None:
+        # The scheduler attaches its DeviceChannel through whichever
+        # device object the DB holds; arbitration itself happens in the
+        # inner device's charge path, below the fault-injection hooks.
+        self.inner.channel = value
+
     def read_cost_us(self, nbytes: int, *, sequential: bool = False) -> float:
         return self.inner.read_cost_us(nbytes, sequential=sequential)
 

@@ -227,6 +227,46 @@ def bench_udc_vs_ldc(quick: bool = False) -> BenchResult:
     )
 
 
+def bench_sched_interference(quick: bool = False) -> BenchResult:
+    """The udc_vs_ldc pair with the background scheduler on (bg_threads=1).
+
+    Scheduler-on runs pay extra host work per operation (chunk capture,
+    channel arbitration, throttle checks), and the fig01s experiment plus
+    the differential suite are built on this path — so its wall-clock
+    cost is tracked separately from the scheduler-off macro pair.  The
+    extras record the headline mechanism result (write p99/p50 spread per
+    policy) so a bench artifact also documents the interference gap.
+    """
+    ops = 2_000 if quick else 12_000
+    keys = max(500, ops // 3)
+    spec = _macro_spec("RWB", ops, keys)
+    config = LSMConfig(bg_threads=1)
+    start = time.perf_counter()
+    udc = run_workload(spec, LeveledCompaction, config=config)
+    udc_wall = time.perf_counter() - start
+    mid = time.perf_counter()
+    ldc = run_workload(spec, LDCPolicy, config=config)
+    ldc_wall = time.perf_counter() - mid
+
+    def spread(result) -> float:
+        writes = result.write_latencies
+        return writes.percentile(99.0) / writes.percentile(50.0)
+
+    return BenchResult(
+        "sched_interference",
+        2 * ops,
+        udc_wall + ldc_wall,
+        extra={
+            "udc_wall_s": udc_wall,
+            "ldc_wall_s": ldc_wall,
+            "udc_p99_p50_spread": spread(udc),
+            "ldc_p99_p50_spread": spread(ldc),
+            "udc_stall_time_us": udc.stall_time_us,
+            "ldc_stall_time_us": ldc.stall_time_us,
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # Sharded benchmarks (repro.shard over the same macro workloads)
 # ----------------------------------------------------------------------
@@ -338,6 +378,7 @@ BENCHMARKS: Dict[str, Callable[[bool], BenchResult]] = {
     "fillrandom": bench_fillrandom,
     "readrandom": bench_readrandom,
     "udc_vs_ldc": bench_udc_vs_ldc,
+    "sched_interference": bench_sched_interference,
     "sharded_fillrandom": bench_sharded_fillrandom,
     "shard_scaling": bench_shard_scaling,
 }

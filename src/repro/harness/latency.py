@@ -98,12 +98,21 @@ class LatencyRecorder:
 
 @dataclass
 class TimelinePoint:
-    """Average latency within one virtual-time bucket (Fig. 1 series)."""
+    """Average latency within one virtual-time bucket (Fig. 1 series).
+
+    ``stall_us`` attributes the bucket's latency to back-pressure: the
+    virtual time its operations spent in L0 throttling (slowdown delays,
+    stop stalls) plus device-channel waits behind background compaction
+    chunks.  Zero whenever the scheduler is off and no stop stall fired —
+    a spike with large ``stall_us`` is compaction interference, not
+    workload variance.
+    """
 
     start_us: float
     count: int
     mean_latency_us: float
     max_latency_us: float
+    stall_us: float = 0.0
 
 
 class LatencyTimeline:
@@ -120,12 +129,17 @@ class LatencyTimeline:
         self._sums: Dict[int, float] = {}
         self._counts: Dict[int, int] = {}
         self._maxes: Dict[int, float] = {}
+        self._stalls: Dict[int, float] = {}
 
-    def record(self, timestamp_us: float, latency_us: float) -> None:
+    def record(
+        self, timestamp_us: float, latency_us: float, stall_us: float = 0.0
+    ) -> None:
         bucket = int(timestamp_us // self.bucket_us)
         self._sums[bucket] = self._sums.get(bucket, 0.0) + latency_us
         self._counts[bucket] = self._counts.get(bucket, 0) + 1
         self._maxes[bucket] = max(self._maxes.get(bucket, 0.0), latency_us)
+        if stall_us:
+            self._stalls[bucket] = self._stalls.get(bucket, 0.0) + stall_us
 
     def merge(self, other: "LatencyTimeline") -> None:
         """Fold ``other``'s buckets into this timeline (same bucket width).
@@ -143,6 +157,8 @@ class LatencyTimeline:
             self._maxes[bucket] = max(
                 self._maxes.get(bucket, 0.0), other._maxes[bucket]
             )
+        for bucket, stall in other._stalls.items():
+            self._stalls[bucket] = self._stalls.get(bucket, 0.0) + stall
 
     def points(self) -> List[TimelinePoint]:
         return [
@@ -151,6 +167,7 @@ class LatencyTimeline:
                 count=self._counts[bucket],
                 mean_latency_us=self._sums[bucket] / self._counts[bucket],
                 max_latency_us=self._maxes[bucket],
+                stall_us=self._stalls.get(bucket, 0.0),
             )
             for bucket in sorted(self._counts)
         ]

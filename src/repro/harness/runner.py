@@ -73,6 +73,13 @@ class RunResult:
     #: Unified metrics snapshot taken when the run finished (counters cover
     #: the measured window since the post-load reset).
     metrics: Optional[MetricsSnapshot] = None
+    #: Virtual time the measured operations spent throttled (L0 slowdown
+    #: delays + stop stalls); always present, non-zero mostly under the
+    #: scheduler (``bg_threads >= 1``).
+    stall_time_us: float = 0.0
+    #: Foreground waits behind in-flight background compaction chunks on
+    #: the device channel (scheduler only).
+    device_wait_us: float = 0.0
 
     @property
     def throughput_ops_s(self) -> float:
@@ -176,6 +183,11 @@ def execute_operations(
     clock = db.clock
     start_time = clock.now()
     count = 0
+    # Stall attribution: throttle time (both modes) plus device-channel
+    # waits behind background chunks (scheduler only).  Counter reads
+    # do not touch the clock, so the scheduler-off timing is unchanged.
+    counter = db.registry.counter
+    stall_total = counter("engine.stall_time_us") + counter("sched.device_wait_us")
 
     for operation in operations:
         begin = clock.now()
@@ -193,9 +205,11 @@ def execute_operations(
         else:
             raise WorkloadError(f"unknown operation kind {operation.kind!r}")
         latency = clock.now() - begin
+        stalled = counter("engine.stall_time_us") + counter("sched.device_wait_us")
         recorders[operation.kind].record(latency)
         overall.record(latency)
-        timeline.record(begin, latency)
+        timeline.record(begin, latency, stall_us=stalled - stall_total)
+        stall_total = stalled
         count += 1
 
     elapsed = clock.now() - start_time
@@ -234,6 +248,8 @@ def execute_operations(
         activity_share=db.engine_stats.activity_share(),
         final_threshold=final_threshold if isinstance(final_threshold, int) else None,
         metrics=db.metrics(),
+        stall_time_us=float(db.registry.counter("engine.stall_time_us")),
+        device_wait_us=float(db.registry.counter("sched.device_wait_us")),
     )
 
 

@@ -112,6 +112,20 @@ class CompactionPolicy(ABC):
             )
         return did_work
 
+    def step(self) -> bool:
+        """One incremental unit of maintenance work (scheduler entry point).
+
+        The virtual-time scheduler (:mod:`repro.sched`) executes policies
+        through this hook under the clock's capture mode: the round's
+        logical effects apply immediately while its time cost is diverted
+        and replayed as block-granularity chunks on a background thread.
+        All four shipped policies (UDC, LDC, tiered, delayed) inherit
+        incremental execution through it — a round is already their unit
+        of progress, so one ``step`` is one resumable work item and no
+        policy needs scheduler-specific code.
+        """
+        return self.compact_one_tracked()
+
     def maybe_compact(self) -> None:
         """Run compaction rounds until the tree is within its limits.
 

@@ -103,6 +103,20 @@ class LSMConfig:
         store ("the total size of all the frozen SSTables is less than
         50%"), which is the default here; tighter settings trade LDC's
         I/O savings for space.
+    bg_threads:
+        Number of background compaction "threads" driven by the
+        virtual-time scheduler (:mod:`repro.sched`).  The default 0 keeps
+        the historical synchronous engine: compaction runs inline inside
+        the triggering operation and every golden fingerprint is
+        byte-identical.  With ``bg_threads >= 1`` compaction rounds become
+        resumable chunked work units that share device bandwidth with the
+        foreground, and writes observe LevelDB-style L0 slowdown/stop
+        throttling (see docs/SCHEDULING.md).
+    sched_chunk_blocks:
+        Chunk granularity of background work, in data blocks: each
+        captured device transfer is split into chunks of at most this many
+        blocks (CPU time is chunked to a comparable duration).  Smaller
+        chunks interleave with the foreground at finer grain.
     """
 
     memtable_bytes: int = 64 * KIB
@@ -122,6 +136,8 @@ class LSMConfig:
     seek_compaction_enabled: bool = False
     frozen_space_limit_ratio: float = 0.50
     wal_enabled: bool = True
+    bg_threads: int = 0
+    sched_chunk_blocks: int = 1
     costs: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:
@@ -157,6 +173,10 @@ class LSMConfig:
             raise ConfigError("l0_slowdown_delay_us must be non-negative")
         if not 0 < self.frozen_space_limit_ratio <= 1:
             raise ConfigError("frozen_space_limit_ratio must be in (0, 1]")
+        if self.bg_threads < 0:
+            raise ConfigError("bg_threads must be non-negative")
+        if self.sched_chunk_blocks <= 0:
+            raise ConfigError("sched_chunk_blocks must be positive")
 
     def level_capacity_bytes(self, level: int) -> int:
         """Capacity of ``level`` in bytes (Level 0 is file-count driven)."""

@@ -57,6 +57,7 @@ from ..obs.events import (
 from ..obs.registry import MetricsRegistry
 from ..obs.snapshot import MetricsSnapshot
 from ..obs.tracer import Tracer
+from ..sched.scheduler import CompactionScheduler
 from ..ssd.device import SimulatedSSD
 from ..ssd.metrics import FLUSH_WRITE, USER_READ, USER_SCAN
 from ..ssd.profile import ENTERPRISE_PCIE, SSDProfile
@@ -147,6 +148,11 @@ class DB:
         self._l0_stop = self.config.l0_stop_trigger
         self._l0_slowdown = self.config.l0_slowdown_trigger
         self.policy.attach(self)
+        #: Virtual-time background compaction (repro.sched); None keeps
+        #: the historical synchronous engine with bit-identical timing.
+        self.sched = (
+            CompactionScheduler(self) if self.config.bg_threads > 0 else None
+        )
 
     # ------------------------------------------------------------------
     # Id/sequence generation
@@ -294,8 +300,14 @@ class DB:
 
         With synchronous maintenance Level 0 rarely exceeds its trigger,
         but the guard stays: a storm of Level-0 files delays writes
-        (slowdown) or forces compaction before proceeding (stop).
+        (slowdown) or forces compaction before proceeding (stop).  Under
+        the scheduler the thresholds become mechanically live: Level 0
+        accumulates while every background thread is paying off earlier
+        compaction debt.
         """
+        if self.sched is not None:
+            self._maybe_stall_scheduled()
+            return
         level0 = len(self.version.levels[0])
         if level0 >= self._l0_stop:
             start = self.clock.now()
@@ -317,6 +329,47 @@ class DB:
             self.tracer.emit(
                 EV_STALL, reason="l0_slowdown", level0_files=level0,
                 duration_us=self.config.l0_slowdown_delay_us,
+            )
+
+    def _maybe_stall_scheduled(self) -> None:
+        """Scheduler-mode throttling: real waits instead of inline drains.
+
+        *Stop* (`l0_stop_trigger`): the write blocks, in virtual time,
+        until background threads bring Level 0 back under the threshold —
+        the clock jumps along task completions
+        (:meth:`~repro.sched.scheduler.CompactionScheduler.stall_until_l0_below`).
+        *Slowdown* (`l0_slowdown_trigger`): each write pays the fixed
+        LevelDB-style delay, buying the background threads time to catch
+        up.  Both paths mirror the synchronous accounting (engine stall
+        counters, ``EV_STALL``) and add ``sched.*`` breakdowns.
+        """
+        level0 = len(self.version.levels[0])
+        if level0 < self._l0_slowdown:
+            return
+        if level0 >= self._l0_stop:
+            start = self.clock.now()
+            self.sched.stall_until_l0_below(self._l0_stop)
+            duration = self.clock.now() - start
+            self.engine_stats.stall_events += 1
+            self.engine_stats.stall_time_us += duration
+            self.engine_stats.charge_activity(ACT_WRITE, duration)
+            self._count("sched.stall_events")
+            self._count("sched.stall_time_us", duration)
+            self.tracer.emit(
+                EV_STALL, reason="l0_stop", level0_files=level0,
+                duration_us=duration,
+            )
+        else:
+            delay = self.config.l0_slowdown_delay_us
+            self.clock.advance(delay)
+            self.engine_stats.stall_events += 1
+            self.engine_stats.stall_time_us += delay
+            self.engine_stats.charge_activity(ACT_WRITE, delay)
+            self._count("sched.slowdown_events")
+            self._count("sched.slowdown_time_us", delay)
+            self.tracer.emit(
+                EV_STALL, reason="l0_slowdown", level0_files=level0,
+                duration_us=delay,
             )
 
     def flush(self) -> None:
@@ -352,7 +405,16 @@ class DB:
         each user operation absorbs at most one round — UDC's rounds move
         O(fan_out) files, LDC's O(1), which is exactly the granularity
         difference behind the paper's tail-latency comparison (Fig. 8).
+
+        With the scheduler enabled the round is not charged to this
+        operation: the scheduler replays background chunks up to the
+        current time and captures new rounds onto idle threads, and the
+        foreground only pays when it collides with that work (device-
+        channel waits, throttling).
         """
+        if self.sched is not None:
+            self.sched.on_operation()
+            return
         start = self.clock.now()
         if self.policy.compact_one_tracked():
             self.engine_stats.charge_activity(
@@ -741,6 +803,11 @@ class DB:
             raise RecoveryError(
                 "cannot recover without a WAL: the memtable contents are lost"
             )
+        if self.sched is not None:
+            # In-flight background chunks are pure time debt (their rounds'
+            # logical effects applied at capture), and a rebooted store
+            # does not owe the dead process's unpaid time.
+            self.sched.discard_inflight()
         start = self.clock.now()
         records = self._wal.recover()
         self._memtable = MemTable(seed=self._seed)
@@ -820,6 +887,8 @@ class DB:
                     f"live slice fan-in {fan_in[file_id]}"
                 )
         self.policy.check_invariants()
+        if self.sched is not None:
+            self.sched.check_invariants()
         if self.block_cache is not None:
             stale = self.block_cache.cached_file_ids() - live_ids
             if stale:
@@ -835,6 +904,10 @@ class DB:
         if self._closed:
             return
         self.flush()
+        if self.sched is not None:
+            # Join the background threads: pay outstanding compaction debt
+            # so the closing clock covers all work this store caused.
+            self.sched.drain()
         self._closed = True
         self.tracer.close()
 

@@ -37,6 +37,8 @@ from .events import (
     EV_LINK,
     EV_MERGE,
     EV_RECOVERY,
+    EV_SCHED_TASK,
+    EV_SCHED_TASK_DONE,
     EV_STALL,
     EV_TRIVIAL_MOVE,
     TraceEvent,
@@ -82,4 +84,6 @@ __all__ = [
     "EV_FAULT_CRASH",
     "EV_FAULT_TRANSIENT",
     "EV_FAULT_CORRUPTION",
+    "EV_SCHED_TASK",
+    "EV_SCHED_TASK_DONE",
 ]

@@ -1,0 +1,25 @@
+"""Virtual-time background compaction scheduling (see docs/SCHEDULING.md).
+
+Enable with ``LSMConfig(bg_threads=N)``: compaction rounds become captured,
+chunk-granular work units drained by N deterministic background threads
+that share the simulated device's bandwidth with foreground I/O, while
+writes observe LevelDB-style L0 slowdown/stop throttling.  With the
+default ``bg_threads=0`` nothing here runs and the engine's timing is
+byte-identical to the historical synchronous mode.
+"""
+
+from .scheduler import (
+    BackgroundThread,
+    CompactionScheduler,
+    CompactionTask,
+    MAX_STALL_ROUNDS,
+)
+from ..ssd.clock import DeviceChannel
+
+__all__ = [
+    "BackgroundThread",
+    "CompactionScheduler",
+    "CompactionTask",
+    "DeviceChannel",
+    "MAX_STALL_ROUNDS",
+]

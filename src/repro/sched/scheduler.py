@@ -1,0 +1,409 @@
+"""Deterministic virtual-time background compaction scheduling.
+
+The synchronous engine runs every compaction round inline inside the
+operation that made it due, so foreground traffic and compaction never
+overlap in simulated device time — the paper's interference mechanism
+(Fig. 1, Figs. 8–9) is only approximated by per-operation charging.  This
+module makes the overlap real while staying fully deterministic:
+
+**Capture.**  A compaction round still executes the unchanged policy code
+(:meth:`~repro.lsm.compaction.base.CompactionPolicy.step`), but under the
+clock's *capture mode*: the round's logical effects — version-set edits,
+links, merges, file drops — apply immediately and atomically, while every
+time charge is diverted into a list of ``(kind, duration, bytes)`` items.
+Logical state is therefore identical between scheduler-on and
+scheduler-off runs (the metamorphic guarantee the differential suite
+pins), and a crash can simply discard in-flight work: it is pure time
+debt, never half-applied state.
+
+**Chunks and threads.**  Captured items are split at block granularity
+into chunks.  Each background "thread" owns a ``free_at_us`` horizon and
+drains one task (one captured round) at a time, chunk by chunk.  IO chunks
+additionally serialise on the shared :class:`~repro.ssd.clock.DeviceChannel`
+— one device, one transfer at a time — while CPU chunks only occupy the
+thread, so CPU work overlaps device work across threads.  Foreground I/O
+arriving while the channel is busy waits out the horizon
+(``sched.device_wait_us``): that wait is the interference.
+
+**Pacing.**  New rounds are captured only when a thread is idle *at the
+current virtual time*.  While every thread is still paying off earlier
+debt, flushes pile files into Level 0 — which is exactly when LevelDB's
+write throttling (slowdown delay, stop stall) becomes mechanically
+meaningful rather than a modelling fiction.
+
+Everything is a pure function of the operation stream: ties break on
+thread index, queues are FIFO, and no wall-clock or randomness enters, so
+runs are bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from math import ceil
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
+
+from ..errors import CompactionError, EngineError
+from ..obs.events import EV_SCHED_TASK, EV_SCHED_TASK_DONE
+from ..ssd.clock import CAPTURE_IO, DeviceChannel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..lsm.db import DB
+
+#: Safety bound on rounds started by one stop-stall; mirrors
+#: MAX_ROUNDS_PER_PASS in the synchronous drain path.
+MAX_STALL_ROUNDS = 10_000
+
+#: One replayable unit of background work: ``(kind, duration_us)``.
+Chunk = Tuple[str, float]
+
+
+class CompactionTask:
+    """One captured compaction round, resumable at chunk granularity."""
+
+    __slots__ = ("task_id", "policy", "enqueued_us", "chunks", "next_chunk")
+
+    def __init__(
+        self, task_id: int, policy: str, enqueued_us: float, chunks: List[Chunk]
+    ) -> None:
+        self.task_id = task_id
+        self.policy = policy
+        #: Virtual time of capture; chunks never replay before it.
+        self.enqueued_us = enqueued_us
+        self.chunks = chunks
+        self.next_chunk = 0
+
+    @property
+    def remaining_chunks(self) -> int:
+        return len(self.chunks) - self.next_chunk
+
+    @property
+    def done(self) -> bool:
+        return self.next_chunk >= len(self.chunks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CompactionTask(id={self.task_id}, policy={self.policy!r}, "
+            f"{self.remaining_chunks}/{len(self.chunks)} chunks left)"
+        )
+
+
+class BackgroundThread:
+    """One simulated compaction worker: busy until ``free_at_us``."""
+
+    __slots__ = ("index", "free_at_us", "task")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.free_at_us = 0.0
+        self.task: Optional[CompactionTask] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "idle" if self.task is None else f"task={self.task.task_id}"
+        return f"BackgroundThread({self.index}, free_at={self.free_at_us:.1f}, {state})"
+
+
+class CompactionScheduler:
+    """Drains captured compaction rounds on N virtual background threads.
+
+    Built by :class:`~repro.lsm.db.DB` when ``config.bg_threads >= 1``;
+    attaches a :class:`~repro.ssd.clock.DeviceChannel` to the DB's device
+    so foreground I/O arbitrates against in-flight background chunks.
+
+    All counters live under the ``sched.`` namespace of the DB's metrics
+    registry: ``tasks_enqueued`` / ``tasks_completed``,
+    ``chunks_executed`` / ``chunks_discarded``, ``bg_busy_us``,
+    ``device_wait_us`` / ``device_waits`` (bumped by the device),
+    ``stall_events`` / ``stall_time_us`` and ``slowdown_events`` /
+    ``slowdown_time_us`` (bumped by the DB's throttle path).
+    """
+
+    def __init__(self, db: "DB") -> None:
+        if db.config.bg_threads <= 0:
+            raise EngineError("CompactionScheduler requires bg_threads >= 1")
+        self.db = db
+        self.channel = DeviceChannel()
+        db.device.channel = self.channel
+        self.threads = [
+            BackgroundThread(index) for index in range(db.config.bg_threads)
+        ]
+        self.queue: Deque[CompactionTask] = deque()
+        self._next_task_id = 1
+        self._count = db.registry.add
+        self._chunk_bytes = db.config.sched_chunk_blocks * db.config.block_bytes
+        # CPU chunk duration: comparable to one block's sequential read, so
+        # CPU-heavy rounds interleave at the same grain as IO-heavy ones.
+        self._cpu_chunk_us = max(
+            db.device.read_cost_us(db.config.block_bytes, sequential=True), 1e-9
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    @property
+    def in_flight(self) -> bool:
+        """True while any background work is queued or mid-task."""
+        return bool(self.queue) or any(t.task is not None for t in self.threads)
+
+    def pending_chunks(self) -> int:
+        """Chunks not yet replayed, across queue and threads."""
+        total = sum(task.remaining_chunks for task in self.queue)
+        total += sum(t.task.remaining_chunks for t in self.threads if t.task)
+        return total
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def on_operation(self) -> None:
+        """Advance background work to the current virtual time.
+
+        Called by the DB after each user operation: replay chunks whose
+        start precedes *now*, then capture at most one new round per
+        thread idle at the current time.  Capture-on-idle is the pacing
+        rule: busy threads mean Level 0 accumulates, which is what arms
+        the slowdown/stop throttling upstream.
+        """
+        now = self.db.clock.now()
+        self.pump(now)
+        self._start_rounds(now)
+
+    def pump(self, until_us: float) -> None:
+        """Replay every background chunk that starts strictly before ``until_us``."""
+        while True:
+            self._assign_idle()
+            thread = self._earliest_runnable()
+            if thread is None or self._next_start(thread) >= until_us:
+                return
+            self._run_chunk(thread)
+
+    def drain(self) -> float:
+        """Pay off all outstanding debt; advance the clock past the last chunk.
+
+        Used at ``close()`` so a finished run's clock covers all work the
+        run caused — the analogue of joining the compaction threads.
+        Returns the new virtual time.
+        """
+        clock = self.db.clock
+        last = clock.now()
+        while True:
+            self._assign_idle()
+            thread = self._earliest_runnable()
+            if thread is None:
+                break
+            end, _ = self._run_chunk(thread)
+            if end > last:
+                last = end
+        return clock.advance_to(last)
+
+    def stall_until_l0_below(self, limit: int) -> None:
+        """Block (in virtual time) until Level 0 holds fewer than ``limit`` files.
+
+        The L0 *stop* semantics: capture new rounds whenever a thread is
+        idle (their effects shrink L0 immediately); while all threads are
+        busy, jump the clock to the next task completion — the writer is
+        genuinely waiting for background compaction to catch up.
+        """
+        db = self.db
+        version = db.version
+        rounds = 0
+        while len(version.levels[0]) >= limit:
+            now = db.clock.now()
+            self.pump(now)
+            if self._start_rounds(now):
+                rounds += 1
+                if rounds > MAX_STALL_ROUNDS:
+                    raise CompactionError(
+                        f"L0 stop stall did not converge within "
+                        f"{MAX_STALL_ROUNDS} rounds"
+                    )
+                continue
+            if not self._advance_to_next_completion():
+                # Nothing in flight and the policy found no work: L0
+                # cannot shrink further; surrender rather than spin.
+                break
+
+    def discard_inflight(self) -> int:
+        """Drop queued and mid-task work (crash semantics); return chunks lost.
+
+        Captured rounds already applied their logical effects, so the only
+        thing a crash destroys is unpaid time debt — which a rebooted
+        store does not owe.  The channel's future occupancy dies with it.
+        """
+        dropped = self.pending_chunks()
+        self.queue.clear()
+        now = self.db.clock.now()
+        for thread in self.threads:
+            thread.task = None
+            if thread.free_at_us > now:
+                thread.free_at_us = now
+        self.channel.release(now)
+        if dropped:
+            self._count("sched.chunks_discarded", dropped)
+        return dropped
+
+    def check_invariants(self) -> None:
+        """Scheduler-internal consistency; raise :class:`EngineError` on violation."""
+        for thread in self.threads:
+            task = thread.task
+            if task is not None and task.done:
+                raise EngineError(
+                    f"background thread {thread.index} holds completed "
+                    f"task {task.task_id}"
+                )
+        for task in self.queue:
+            if task.next_chunk != 0:
+                raise EngineError(
+                    f"queued task {task.task_id} has already executed chunks"
+                )
+        if self.channel.busy_until_us < 0:
+            raise EngineError("device channel horizon is negative")
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+    def _start_rounds(self, now_us: float) -> bool:
+        """Capture one round per currently-idle thread; True if any captured."""
+        captured = False
+        for thread in self.threads:
+            if thread.task is not None or thread.free_at_us > now_us:
+                continue
+            if self.queue:
+                self._assign_idle()
+                continue
+            if not self._capture_round(now_us):
+                break
+            captured = True
+            self._assign_idle()
+        return captured
+
+    def _capture_round(self, now_us: float) -> bool:
+        """Run one policy round under clock capture; enqueue its time debt."""
+        db = self.db
+        clock = db.clock
+        clock.begin_capture()
+        try:
+            did_work = db.policy.step()
+        finally:
+            items = clock.end_capture()
+        if not did_work:
+            return False
+        chunks = self._chunkify(items)
+        self._count("sched.tasks_enqueued")
+        if not chunks:
+            # Zero-I/O metadata round (an LDC link, a trivial move): there
+            # is no debt to replay, so no task occupies a thread.
+            self._count("sched.tasks_completed")
+            return True
+        task = CompactionTask(
+            self._next_task_id, db.policy.name, now_us, chunks
+        )
+        self._next_task_id += 1
+        self.queue.append(task)
+        tracer = db.tracer
+        if tracer.active:
+            tracer.emit(
+                EV_SCHED_TASK,
+                task_id=task.task_id,
+                policy=task.policy,
+                chunks=len(chunks),
+                debt_us=sum(duration for _, duration in chunks),
+                io_us=sum(d for kind, d in chunks if kind == CAPTURE_IO),
+            )
+        return True
+
+    def _chunkify(self, items) -> List[Chunk]:
+        """Split captured time charges into block-granularity chunks."""
+        chunks: List[Chunk] = []
+        for kind, duration, nbytes in items:
+            if duration <= 0:
+                continue
+            if kind == CAPTURE_IO:
+                pieces = max(1, -(-nbytes // self._chunk_bytes))
+            else:
+                pieces = max(1, ceil(duration / self._cpu_chunk_us))
+            per_chunk = duration / pieces
+            chunks.extend((kind, per_chunk) for _ in range(pieces))
+        return chunks
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _assign_idle(self) -> None:
+        """Hand queued tasks to idle threads (earliest-free first, FIFO tasks)."""
+        while self.queue:
+            idle = [t for t in self.threads if t.task is None]
+            if not idle:
+                return
+            thread = min(idle, key=lambda t: (t.free_at_us, t.index))
+            task = self.queue.popleft()
+            thread.task = task
+            if task.enqueued_us > thread.free_at_us:
+                thread.free_at_us = task.enqueued_us
+
+    def _next_start(self, thread: BackgroundThread) -> float:
+        kind, _ = thread.task.chunks[thread.task.next_chunk]
+        if kind == CAPTURE_IO and self.channel.busy_until_us > thread.free_at_us:
+            return self.channel.busy_until_us
+        return thread.free_at_us
+
+    def _earliest_runnable(self) -> Optional[BackgroundThread]:
+        """The busy thread whose next chunk can start first (ties: index)."""
+        best: Optional[BackgroundThread] = None
+        best_start = 0.0
+        for thread in self.threads:
+            if thread.task is None:
+                continue
+            start = self._next_start(thread)
+            if best is None or start < best_start:
+                best = thread
+                best_start = start
+        return best
+
+    def _run_chunk(self, thread: BackgroundThread) -> Tuple[float, bool]:
+        """Replay one chunk on ``thread``; return (end time, task completed)."""
+        task = thread.task
+        kind, duration = task.chunks[task.next_chunk]
+        start = self._next_start(thread)
+        end = start + duration
+        thread.free_at_us = end
+        if kind == CAPTURE_IO:
+            self.channel.occupy_until(end)
+        task.next_chunk += 1
+        self._count("sched.chunks_executed")
+        self._count("sched.bg_busy_us", duration)
+        completed = task.done
+        if completed:
+            thread.task = None
+            self._count("sched.tasks_completed")
+            tracer = self.db.tracer
+            if tracer.active:
+                tracer.emit(
+                    EV_SCHED_TASK_DONE,
+                    task_id=task.task_id,
+                    policy=task.policy,
+                    completed_us=end,
+                )
+        return end, completed
+
+    def _advance_to_next_completion(self) -> bool:
+        """Fast-forward the clock to the next task completion; False if none."""
+        clock = self.db.clock
+        while True:
+            self._assign_idle()
+            thread = self._earliest_runnable()
+            if thread is None:
+                return False
+            end, completed = self._run_chunk(thread)
+            if completed:
+                clock.advance_to(end)
+                return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        busy = sum(1 for t in self.threads if t.task is not None)
+        return (
+            f"CompactionScheduler(threads={len(self.threads)}, busy={busy}, "
+            f"queued={len(self.queue)})"
+        )

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import warnings
 
-from .clock import SimClock
+from .clock import DeviceChannel, SimClock
 from .metrics import IOStats
 from .profile import ENTERPRISE_PCIE, SSDProfile
 from ..errors import DeviceError
@@ -76,6 +76,11 @@ class SimulatedSSD:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.stats = IOStats(registry=self.registry)
         self.tracer = tracer if tracer is not None else Tracer(clock=self.clock)
+        #: Bandwidth arbiter attached by the compaction scheduler
+        #: (:mod:`repro.sched`).  ``None`` by default: without a scheduler
+        #: nothing else competes for the device and arbitration is skipped
+        #: entirely, keeping the scheduler-off timing bit-identical.
+        self.channel: DeviceChannel | None = None
 
     # ------------------------------------------------------------------
     # Cost queries (no side effects) — used by planners and the model layer.
@@ -100,9 +105,18 @@ class SimulatedSSD:
     # Charged operations — advance the clock and update statistics.
     # ------------------------------------------------------------------
     def read(self, nbytes: int, category: str, *, sequential: bool = False) -> float:
-        """Charge a read of ``nbytes`` to ``category``; return elapsed µs."""
+        """Charge a read of ``nbytes`` to ``category``; return elapsed µs.
+
+        With a :class:`~repro.ssd.clock.DeviceChannel` attached (scheduler
+        on), a foreground request first waits out the channel's busy
+        horizon — background compaction chunks in flight — and then
+        occupies the device itself; the wait is recorded under
+        ``sched.device_wait_us``.  During a clock capture the charge is
+        diverted (the scheduler replays it later), so no arbitration
+        happens here.
+        """
         elapsed = self.read_cost_us(nbytes, sequential=sequential)
-        self.clock.advance(elapsed)
+        self._charge(elapsed, nbytes)
         self.stats.record_read(category, nbytes, elapsed)
         if self.tracer.active:
             self.tracer.emit(
@@ -115,9 +129,12 @@ class SimulatedSSD:
         return elapsed
 
     def write(self, nbytes: int, category: str, *, sequential: bool = False) -> float:
-        """Charge a write of ``nbytes`` to ``category``; return elapsed µs."""
+        """Charge a write of ``nbytes`` to ``category``; return elapsed µs.
+
+        Arbitrates for the device channel exactly like :meth:`read`.
+        """
         elapsed = self.write_cost_us(nbytes, sequential=sequential)
-        self.clock.advance(elapsed)
+        self._charge(elapsed, nbytes)
         self.stats.record_write(category, nbytes, elapsed)
         if self.tracer.active:
             self.tracer.emit(
@@ -128,6 +145,25 @@ class SimulatedSSD:
                 sequential=sequential,
             )
         return elapsed
+
+    def _charge(self, elapsed: float, nbytes: int) -> None:
+        """Advance the clock for one transfer, arbitrating when needed.
+
+        The common (scheduler-off) case is a single ``advance_io`` call,
+        identical in effect to the plain ``advance`` it replaces.
+        """
+        clock = self.clock
+        channel = self.channel
+        if channel is not None and not clock.capturing:
+            wait = channel.busy_until_us - clock.now()
+            if wait > 0:
+                clock.advance(wait)
+                self.registry.add("sched.device_wait_us", wait)
+                self.registry.add("sched.device_waits", 1)
+            clock.advance(elapsed)
+            channel.occupy_until(clock.now())
+        else:
+            clock.advance_io(elapsed, nbytes)
 
     # ------------------------------------------------------------------
     # Fault-injection hooks (inert on the plain device)

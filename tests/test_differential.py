@@ -1,0 +1,307 @@
+"""Cross-policy differential suite: every engine configuration vs one model.
+
+One seeded random workload — puts, deletes, write batches, point gets,
+scans and snapshots — is replayed against every combination of
+
+* compaction policy: UDC, LDC, tiered, delayed;
+* scheduler: off (``bg_threads=0``) and on (``bg_threads=1``);
+* sharding: single store and a 4-shard fleet;
+
+while a plain in-memory model (a dict) tracks the expected logical state.
+Read equivalence is checked **at mid-workload points**, not only at the
+end: the scheduler leaves compaction debt in flight between operations,
+and a reader must never observe a half-applied compaction (capture mode
+applies each round's logical effects atomically, so it cannot).
+
+The crash tests pin the PR's recovery contract: in-flight background
+chunks are pure time debt, so a crash discards them, recovery loses no
+acknowledged write, and the cross-layer invariants hold immediately after
+recovery — with the workload then *continuing* on the recovered store.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    DB,
+    LDCPolicy,
+    LeveledCompaction,
+    ShardedDB,
+    TieredCompaction,
+    WriteBatch,
+)
+from repro.lsm.compaction.delayed import DelayedCompaction
+from repro.lsm.config import LSMConfig
+
+POLICIES = {
+    "udc": LeveledCompaction,
+    "ldc": LDCPolicy,
+    "tiered": TieredCompaction,
+    "delayed": DelayedCompaction,
+}
+
+#: Tiny geometry: flushes every ~25 writes, compactions soon after.
+def make_config(bg_threads: int) -> LSMConfig:
+    return LSMConfig(
+        memtable_bytes=2048,
+        sstable_target_bytes=2048,
+        block_bytes=512,
+        fan_out=4,
+        level1_capacity_bytes=4096,
+        max_levels=6,
+        slicelink_threshold=4,
+        bg_threads=bg_threads,
+    )
+
+
+KEY_SPACE = 150
+NUM_OPS = 400
+CHECKPOINTS = (NUM_OPS // 3, 2 * NUM_OPS // 3)
+
+
+def key_of(index: int) -> bytes:
+    return str(index).zfill(10).encode()
+
+
+def make_workload(seed: int, num_ops: int = NUM_OPS):
+    """A seeded random op stream (deterministic across runs and configs)."""
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(num_ops):
+        roll = rng.random()
+        if roll < 0.45:
+            ops.append(("put", rng.randrange(KEY_SPACE), rng.randbytes(rng.randrange(8, 80))))
+        elif roll < 0.55:
+            ops.append(("delete", rng.randrange(KEY_SPACE)))
+        elif roll < 0.65:
+            entries = [
+                (rng.randrange(KEY_SPACE), None if rng.random() < 0.25 else rng.randbytes(24))
+                for _ in range(rng.randrange(2, 6))
+            ]
+            ops.append(("batch", entries))
+        elif roll < 0.80:
+            ops.append(("get", rng.randrange(KEY_SPACE)))
+        elif roll < 0.92:
+            ops.append(("scan", rng.randrange(KEY_SPACE), rng.randrange(1, 12)))
+        else:
+            ops.append(("snapshot",))
+    return ops
+
+
+def make_store(policy_name: str, bg_threads: int, shards: int):
+    config = make_config(bg_threads)
+    if shards == 1:
+        return DB(config=config, policy=POLICIES[policy_name]())
+    return ShardedDB(
+        shards, POLICIES[policy_name], key_space=KEY_SPACE * 2, config=config
+    )
+
+
+def apply_batch(store, entries) -> None:
+    """Apply one batch through the store's real batch path.
+
+    The sharded facade has no cross-shard batch API; entries are grouped
+    by owning shard and each group goes through that shard's atomic
+    ``write_batch`` — same per-key effects, real batch code path.
+    """
+    if isinstance(store, DB):
+        batch = WriteBatch()
+        for index, value in entries:
+            if value is None:
+                batch.delete(key_of(index))
+            else:
+                batch.put(key_of(index), value)
+        store.write_batch(batch)
+        return
+    groups = {}
+    for index, value in entries:
+        shard = store.shard_of(key_of(index))
+        groups.setdefault(shard, WriteBatch())
+        if value is None:
+            groups[shard].delete(key_of(index))
+        else:
+            groups[shard].put(key_of(index), value)
+    for shard, batch in groups.items():
+        store.shards[shard].write_batch(batch)
+
+
+def check_equivalence(store, model, rng) -> None:
+    """Reads through every API must agree with the model right now."""
+    # Point gets: a sample of the key space (hits and misses both).
+    for index in rng.sample(range(KEY_SPACE), 30):
+        key = key_of(index)
+        assert store.get(key) == model.get(key), f"get mismatch at {key!r}"
+    # A bounded scan from a random start.
+    start = key_of(rng.randrange(KEY_SPACE))
+    expected = sorted(
+        (key, value) for key, value in model.items() if key >= start
+    )[:20]
+    assert store.scan(start, 20) == expected
+    # Full logical contents, key-ordered.
+    assert list(store.logical_items()) == sorted(model.items())
+
+
+def run_differential(policy_name: str, bg_threads: int, shards: int, seed: int):
+    """Drive the seeded workload; verify at checkpoints and at the end."""
+    store = make_store(policy_name, bg_threads, shards)
+    model = {}
+    check_rng = random.Random(seed ^ 0xD1FF)
+    last_snapshot_seqs = None
+    for position, op in enumerate(make_workload(seed)):
+        kind = op[0]
+        if kind == "put":
+            _, index, value = op
+            store.put(key_of(index), value)
+            model[key_of(index)] = value
+        elif kind == "delete":
+            _, index = op
+            store.delete(key_of(index))
+            model.pop(key_of(index), None)
+        elif kind == "batch":
+            apply_batch(store, op[1])
+            for index, value in op[1]:
+                if value is None:
+                    model.pop(key_of(index), None)
+                else:
+                    model[key_of(index)] = value
+        elif kind == "get":
+            key = key_of(op[1])
+            assert store.get(key) == model.get(key)
+        elif kind == "scan":
+            start = key_of(op[1])
+            expected = sorted(
+                (key, value) for key, value in model.items() if key >= start
+            )[: op[2]]
+            assert store.scan(start, op[2]) == expected
+        else:  # snapshot: pinned sequences are monotone in workload order
+            if isinstance(store, ShardedDB):
+                snap = store.snapshot()
+                if last_snapshot_seqs is not None:
+                    assert all(
+                        current >= previous
+                        for current, previous in zip(
+                            snap.sequences, last_snapshot_seqs
+                        )
+                    )
+                last_snapshot_seqs = snap.sequences
+        if position + 1 in CHECKPOINTS:
+            check_equivalence(store, model, check_rng)
+            store.check_invariants()
+    check_equivalence(store, model, check_rng)
+    store.check_invariants()
+    return store, model
+
+
+SHARD_COUNTS = (1, 4)
+SCHED_MODES = (0, 1)
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@pytest.mark.parametrize("bg_threads", SCHED_MODES)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_matches_model(policy_name, bg_threads, shards):
+    run_differential(policy_name, bg_threads, shards, seed=11)
+
+
+@pytest.mark.parametrize("policy_name", ["udc", "ldc"])
+def test_second_seed_single_store(policy_name):
+    """A second seed on the single-store corners (cheap extra coverage)."""
+    run_differential(policy_name, bg_threads=1, shards=1, seed=29)
+
+
+def test_all_configurations_agree_on_final_contents():
+    """Same ops => same logical contents, whatever the engine configuration."""
+    contents = set()
+    for policy_name in sorted(POLICIES):
+        for bg_threads in SCHED_MODES:
+            for shards in SHARD_COUNTS:
+                store, _ = run_differential(policy_name, bg_threads, shards, seed=5)
+                contents.add(tuple(store.logical_items()))
+    assert len(contents) == 1
+
+
+class TestCrashRecovery:
+    """The PR's recovery fix: partial chunks are discarded, not replayed."""
+
+    def drive_until_inflight(self, db, seed=3):
+        model = {}
+        rng = random.Random(seed)
+        attempts = 0
+        while not db.sched.in_flight:
+            for _ in range(50):
+                index = rng.randrange(KEY_SPACE)
+                value = rng.randbytes(48)
+                db.put(key_of(index), value)
+                model[key_of(index)] = value
+            attempts += 1
+            assert attempts < 100, "workload never left chunks in flight"
+        return model
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_crash_discards_partial_chunks(self, policy_name):
+        db = DB(config=make_config(bg_threads=1), policy=POLICIES[policy_name]())
+        model = self.drive_until_inflight(db)
+        pending_before = db.sched.pending_chunks()
+        assert pending_before > 0
+        db.crash_and_recover()
+        # The partial chunks died with the process ...
+        assert db.sched.pending_chunks() == 0
+        assert not db.sched.in_flight
+        assert db.registry.counter("sched.chunks_discarded") >= pending_before
+        # ... the invariants hold immediately after recovery ...
+        db.check_invariants()
+        # ... and no acknowledged write was lost (synchronous WAL).
+        assert dict(db.logical_items()) == model
+
+    def test_workload_continues_after_crash(self):
+        """Crash mid-workload, recover, keep writing: still equivalent."""
+        db = DB(config=make_config(bg_threads=1), policy=LDCPolicy())
+        model = self.drive_until_inflight(db)
+        db.crash_and_recover()
+        rng = random.Random(99)
+        for _ in range(300):
+            index = rng.randrange(KEY_SPACE)
+            if rng.random() < 0.2:
+                db.delete(key_of(index))
+                model.pop(key_of(index), None)
+            else:
+                value = rng.randbytes(32)
+                db.put(key_of(index), value)
+                model[key_of(index)] = value
+        db.sched.drain()
+        db.check_invariants()
+        assert dict(db.logical_items()) == model
+
+    def test_repeated_crashes(self):
+        """Back-to-back crash/recover cycles stay lossless and consistent."""
+        db = DB(config=make_config(bg_threads=1), policy=LeveledCompaction())
+        model = {}
+        rng = random.Random(17)
+        for cycle in range(4):
+            for _ in range(150):
+                index = rng.randrange(KEY_SPACE)
+                value = rng.randbytes(40)
+                db.put(key_of(index), value)
+                model[key_of(index)] = value
+            db.crash_and_recover()
+            db.check_invariants()
+            assert dict(db.logical_items()) == model
+
+    def test_sharded_crash_recovery_with_scheduler(self):
+        sdb = ShardedDB(
+            4, LDCPolicy, key_space=KEY_SPACE * 2,
+            config=make_config(bg_threads=1),
+        )
+        model = {}
+        rng = random.Random(23)
+        for _ in range(600):
+            index = rng.randrange(KEY_SPACE)
+            value = rng.randbytes(48)
+            sdb.put(key_of(index), value)
+            model[key_of(index)] = value
+        sdb.crash_and_recover()
+        sdb.check_invariants()
+        for shard in sdb.shards:
+            assert shard.sched.pending_chunks() == 0
+        assert dict(sdb.logical_items()) == model

@@ -84,6 +84,59 @@ GOLDEN_END_TO_END = {
     },
 }
 
+#: Scheduler-on goldens (``bg_threads=1``): the same run with compaction
+#: executing on a background thread.  Pinned separately because the
+#: scheduler intentionally changes simulated timing — while the
+#: scheduler-OFF run must remain byte-identical to GOLDEN_END_TO_END.
+GOLDEN_SCHED_END_TO_END = {
+    "UDC": {
+        "elapsed_us": 132133.97910588275,
+        "total_write_bytes": 5060718,
+        "total_read_bytes": 8228142,
+        "compaction_read_bytes": 3008421,
+        "compaction_write_bytes": 2416635,
+        "flush_count": 20,
+        "compaction_count": 7,
+        "link_count": 0,
+        "merge_count": 0,
+        "space_bytes": 1730079,
+        "user_bytes_written": 1317303,
+        "sstable_blocks_read": 1248,
+        "bloom_negative_skips": 3432,
+        "sched.tasks_enqueued": 7,
+        "sched.tasks_completed": 7,
+        "sched.chunks_executed": 1255,
+        "sched.device_waits": 1208,
+        "sched.stall_events": 0,
+        "sched.slowdown_events": 70,
+        "stall_time_us": 70000.0,
+        "device_wait_us": 8739.186605879786,
+    },
+    "LDC": {
+        "elapsed_us": 449182.2781751158,
+        "total_write_bytes": 4941729,
+        "total_read_bytes": 8176545,
+        "compaction_read_bytes": 2766231,
+        "compaction_write_bytes": 2297646,
+        "flush_count": 20,
+        "compaction_count": 21,
+        "link_count": 19,
+        "merge_count": 21,
+        "space_bytes": 2348190,
+        "user_bytes_written": 1317303,
+        "sstable_blocks_read": 1297,
+        "bloom_negative_skips": 7376,
+        "sched.tasks_enqueued": 21,
+        "sched.tasks_completed": 21,
+        "sched.chunks_executed": 1307,
+        "sched.device_waits": 1083,
+        "sched.stall_events": 0,
+        "sched.slowdown_events": 386,
+        "stall_time_us": 386000.0,
+        "device_wait_us": 8287.7391751354,
+    },
+}
+
 _POLICIES = {"UDC": experiments.udc_factory, "LDC": experiments.LDCPolicy}
 
 
@@ -109,12 +162,36 @@ def _snapshot(result) -> dict:
     }
 
 
-def _run(policy_name: str):
+def _sched_snapshot(result) -> dict:
+    """The engine snapshot plus the scheduler's own counters."""
+    counters = result.metrics.counters
+    data = _snapshot(result)
+    data.update(
+        {
+            key: counters.get(key, 0)
+            for key in (
+                "sched.tasks_enqueued",
+                "sched.tasks_completed",
+                "sched.chunks_executed",
+                "sched.device_waits",
+                "sched.stall_events",
+                "sched.slowdown_events",
+            )
+        }
+    )
+    data["stall_time_us"] = result.stall_time_us
+    data["device_wait_us"] = result.device_wait_us
+    return data
+
+
+def _run(policy_name: str, bg_threads: int = 0):
     spec = workloads.rwb(
         num_operations=GOLDEN_RUN_OPS, key_space=GOLDEN_RUN_KEYS
     )
     return experiments.run_workload(
-        spec, _POLICIES[policy_name], config=experiments.experiment_config()
+        spec,
+        _POLICIES[policy_name],
+        config=experiments.experiment_config(bg_threads=bg_threads),
     )
 
 
@@ -178,6 +255,50 @@ class TestEndToEndGolden:
         second = _snapshot(_run("LDC"))
         assert first == second == GOLDEN_END_TO_END["LDC"]
 
+    @pytest.mark.parametrize("policy_name", ["UDC", "LDC"])
+    def test_scheduler_off_is_byte_identical(self, policy_name):
+        """``bg_threads=0`` must not perturb the simulation at all.
+
+        The scheduler subsystem (device channel arbitration, clock capture
+        mode, throttle hooks) was threaded through the device and DB hot
+        paths; this pins the contract that none of it costs a single
+        virtual microsecond — or moves a single byte — until enabled.
+        """
+        result = _run(policy_name, bg_threads=0)
+        assert _snapshot(result) == GOLDEN_END_TO_END[policy_name]
+        assert result.stall_time_us == 0.0
+        assert result.device_wait_us == 0.0
+
+
+class TestSchedulerGolden:
+    """The scheduler-on run is pinned just as tightly as the off run.
+
+    Concurrency here is *virtual*: chunk replay order, channel waits and
+    throttle decisions are all pure functions of the operation stream, so
+    a scheduled run must reproduce exact byte counts, stall totals and
+    task counts — flakiness in these numbers means lost determinism.
+    """
+
+    @pytest.mark.parametrize("policy_name", ["UDC", "LDC"])
+    def test_sched_metrics_byte_identical(self, policy_name):
+        result = _run(policy_name, bg_threads=1)
+        assert _sched_snapshot(result) == GOLDEN_SCHED_END_TO_END[policy_name]
+
+    def test_sched_run_is_process_deterministic(self):
+        first = _sched_snapshot(_run("LDC", bg_threads=1))
+        second = _sched_snapshot(_run("LDC", bg_threads=1))
+        assert first == second == GOLDEN_SCHED_END_TO_END["LDC"]
+
+    def test_sched_changes_timing_not_contents(self):
+        """Sanity on what the two golden layers mean: the scheduler shifts
+        *when* device time is charged (elapsed differs) but the user bytes
+        written — logical work — match the off-run exactly."""
+        on = GOLDEN_SCHED_END_TO_END["LDC"]
+        off = GOLDEN_END_TO_END["LDC"]
+        assert on["user_bytes_written"] == off["user_bytes_written"]
+        assert on["flush_count"] == off["flush_count"]
+        assert on["elapsed_us"] != off["elapsed_us"]
+
 
 def _regen() -> None:  # pragma: no cover - maintenance helper
     import json
@@ -190,6 +311,11 @@ def _regen() -> None:  # pragma: no cover - maintenance helper
         print("base_hashes", key, _base_hashes(key))
     for policy_name in _POLICIES:
         print(policy_name, json.dumps(_snapshot(_run(policy_name)), indent=4))
+    for policy_name in _POLICIES:
+        print(
+            "sched", policy_name,
+            json.dumps(_sched_snapshot(_run(policy_name, bg_threads=1)), indent=4),
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,290 @@
+"""Unit tests for the virtual-time compaction scheduler (repro.sched).
+
+Covers the scheduler's contract pieces in isolation: construction and
+attachment, chunkification, the capture/replay cycle, draining, crash
+discard, L0 throttling accounting, determinism, and the per-shard
+schedulers of the sharded engine.  The cross-policy logical-equivalence
+guarantees live in test_differential.py / test_sched_properties.py.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    DB,
+    CompactionScheduler,
+    LDCPolicy,
+    LeveledCompaction,
+    ShardedDB,
+    TieredCompaction,
+)
+from repro.errors import EngineError
+from repro.lsm.compaction.delayed import DelayedCompaction
+from repro.lsm.config import LSMConfig
+from repro.ssd.clock import CAPTURE_CPU, CAPTURE_IO
+
+POLICIES = {
+    "udc": LeveledCompaction,
+    "ldc": LDCPolicy,
+    "tiered": TieredCompaction,
+    "delayed": DelayedCompaction,
+}
+
+
+def sched_config(bg_threads: int = 1, **overrides) -> LSMConfig:
+    """Tiny geometry that compacts within a few hundred ops."""
+    params = dict(
+        memtable_bytes=2048,
+        sstable_target_bytes=2048,
+        block_bytes=512,
+        fan_out=4,
+        level1_capacity_bytes=4096,
+        max_levels=6,
+        slicelink_threshold=4,
+        bg_threads=bg_threads,
+    )
+    params.update(overrides)
+    return LSMConfig(**params)
+
+
+def key_of(index: int) -> bytes:
+    return str(index).zfill(12).encode()
+
+
+def write_some(db, count: int, seed: int = 7, key_space: int = 400) -> None:
+    rng = random.Random(seed)
+    for _ in range(count):
+        db.put(key_of(rng.randrange(key_space)), b"v" * 64)
+
+
+class TestConstruction:
+    def test_scheduler_off_by_default(self):
+        db = DB(config=sched_config(bg_threads=0))
+        assert db.sched is None
+        assert db.device.channel is None
+
+    def test_scheduler_on_attaches_channel(self):
+        db = DB(config=sched_config(bg_threads=2))
+        assert db.sched is not None
+        assert db.sched.num_threads == 2
+        assert db.device.channel is db.sched.channel
+
+    def test_rejects_zero_threads(self):
+        db = DB(config=sched_config(bg_threads=0))
+        with pytest.raises(EngineError):
+            CompactionScheduler(db)
+
+    def test_sched_counters_absent_when_off(self):
+        db = DB(config=sched_config(bg_threads=0))
+        write_some(db, 300)
+        snap = db.metrics()
+        assert not [key for key in snap.counters if key.startswith("sched.")]
+
+
+class TestChunkify:
+    def test_io_split_at_block_granularity(self):
+        db = DB(config=sched_config(bg_threads=1, sched_chunk_blocks=1))
+        chunk_bytes = db.sched._chunk_bytes
+        assert chunk_bytes == db.config.block_bytes
+        items = [(CAPTURE_IO, 8.0, 3 * chunk_bytes + 1)]  # 3 full + 1 partial
+        chunks = db.sched._chunkify(items)
+        assert len(chunks) == 4
+        assert all(kind == CAPTURE_IO for kind, _ in chunks)
+        assert sum(duration for _, duration in chunks) == pytest.approx(8.0)
+
+    def test_cpu_split_by_block_read_cost(self):
+        db = DB(config=sched_config(bg_threads=1))
+        cpu_chunk = db.sched._cpu_chunk_us
+        items = [(CAPTURE_CPU, 2.5 * cpu_chunk, 0)]
+        chunks = db.sched._chunkify(items)
+        assert len(chunks) == 3
+        assert sum(duration for _, duration in chunks) == pytest.approx(
+            2.5 * cpu_chunk
+        )
+
+    def test_zero_duration_items_dropped(self):
+        db = DB(config=sched_config(bg_threads=1))
+        assert db.sched._chunkify([(CAPTURE_CPU, 0.0, 0)]) == []
+
+    def test_chunk_blocks_knob_coarsens_chunks(self):
+        fine = DB(config=sched_config(bg_threads=1, sched_chunk_blocks=1))
+        coarse = DB(config=sched_config(bg_threads=1, sched_chunk_blocks=8))
+        nbytes = 16 * fine.config.block_bytes
+        item = [(CAPTURE_IO, 4.0, nbytes)]
+        assert len(fine.sched._chunkify(item)) == 16
+        assert len(coarse.sched._chunkify(item)) == 2
+
+
+class TestReplay:
+    def test_workload_enqueues_and_completes_tasks(self):
+        db = DB(config=sched_config(bg_threads=1))
+        write_some(db, 600)
+        db.sched.drain()
+        counter = db.registry.counter
+        assert counter("sched.tasks_enqueued") > 0
+        assert counter("sched.tasks_completed") == counter("sched.tasks_enqueued")
+        assert counter("sched.chunks_executed") > 0
+        assert counter("sched.bg_busy_us") > 0
+        db.check_invariants()
+
+    def test_drain_pays_all_debt_and_advances_clock(self):
+        db = DB(config=sched_config(bg_threads=1))
+        write_some(db, 600)
+        before = db.clock.now()
+        after = db.sched.drain()
+        assert after == db.clock.now() >= before
+        assert db.sched.pending_chunks() == 0
+        assert not db.sched.in_flight
+
+    def test_close_drains(self):
+        db = DB(config=sched_config(bg_threads=1))
+        write_some(db, 600)
+        db.close()
+        assert db.sched.pending_chunks() == 0
+
+    def test_foreground_waits_behind_background_io(self):
+        db = DB(config=sched_config(bg_threads=1))
+        write_some(db, 800)
+        db.sched.drain()
+        assert db.registry.counter("sched.device_waits") > 0
+        assert db.registry.counter("sched.device_wait_us") > 0
+
+    def test_no_background_work_before_any_trigger(self):
+        db = DB(config=sched_config(bg_threads=1))
+        db.put(key_of(1), b"v")  # far below the memtable threshold
+        assert db.registry.counter("sched.tasks_enqueued") == 0
+        # Foreground I/O occupies the channel as it runs, but never into
+        # the future — only background chunks extend the horizon past now.
+        assert db.sched.channel.busy_until_us <= db.clock.now()
+
+    def test_logical_contents_match_scheduler_off(self):
+        ops = 500
+        with_sched = DB(config=sched_config(bg_threads=1), policy=LDCPolicy())
+        without = DB(config=sched_config(bg_threads=0), policy=LDCPolicy())
+        write_some(with_sched, ops)
+        write_some(without, ops)
+        with_sched.sched.drain()
+        assert list(with_sched.logical_items()) == list(without.logical_items())
+
+
+class TestDiscard:
+    def test_discard_clears_all_inflight_state(self):
+        db = DB(config=sched_config(bg_threads=1))
+        count = 0
+        while not db.sched.in_flight:
+            write_some(db, 50, seed=count)
+            count += 1
+            assert count < 100, "workload never left work in flight"
+        dropped = db.sched.discard_inflight()
+        assert dropped > 0
+        assert db.sched.pending_chunks() == 0
+        assert not db.sched.in_flight
+        now = db.clock.now()
+        assert db.sched.channel.busy_until_us <= now
+        assert all(t.free_at_us <= now for t in db.sched.threads)
+        assert db.registry.counter("sched.chunks_discarded") == dropped
+        db.check_invariants()
+
+    def test_discard_when_idle_is_noop(self):
+        db = DB(config=sched_config(bg_threads=1))
+        assert db.sched.discard_inflight() == 0
+        assert db.registry.counter("sched.chunks_discarded") == 0
+
+
+class TestThrottling:
+    def test_slowdown_metrics_fire_under_pressure(self):
+        config = sched_config(
+            bg_threads=1,
+            l0_compaction_trigger=2,
+            l0_slowdown_trigger=3,
+            l0_stop_trigger=5,
+        )
+        db = DB(config=config)
+        write_some(db, 1200)
+        counter = db.registry.counter
+        assert counter("sched.slowdown_events") > 0
+        assert counter("sched.slowdown_time_us") == pytest.approx(
+            counter("sched.slowdown_events") * config.l0_slowdown_delay_us
+        )
+        # Engine-level stall accounting mirrors the sched.* breakdown.
+        total = (
+            counter("sched.slowdown_time_us") + counter("sched.stall_time_us")
+        )
+        assert db.engine_stats.stall_time_us == pytest.approx(total)
+
+    def test_stop_stall_converges_and_is_counted(self):
+        config = sched_config(
+            bg_threads=1,
+            l0_compaction_trigger=2,
+            l0_slowdown_trigger=2,
+            l0_stop_trigger=3,
+        )
+        db = DB(config=config)
+        write_some(db, 1200)
+        counter = db.registry.counter
+        assert counter("sched.stall_events") > 0
+        assert counter("sched.stall_time_us") > 0
+        # After every stall the write proceeded with L0 under the stop cap.
+        assert len(db.version.levels[0]) < 100
+        db.sched.drain()
+        db.check_invariants()
+
+    def test_no_stall_metrics_below_slowdown(self):
+        """L0 never crossing the slowdown trigger means zero throttle time."""
+        db = DB(config=sched_config(bg_threads=4))
+        for index in range(40):  # a couple of flushes, far below triggers
+            db.put(key_of(index), b"v" * 16)
+        counter = db.registry.counter
+        assert counter("sched.stall_events") == 0
+        assert counter("sched.slowdown_events") == 0
+        assert db.engine_stats.stall_time_us == 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_identical_runs_bit_identical(self, policy_name):
+        def one_run():
+            db = DB(
+                config=sched_config(bg_threads=2),
+                policy=POLICIES[policy_name](),
+            )
+            write_some(db, 500)
+            db.sched.drain()
+            snap = db.metrics()
+            return db.clock.now(), dict(snap.counters)
+
+        first = one_run()
+        second = one_run()
+        assert first == second
+
+
+class TestShardedScheduler:
+    def test_each_shard_owns_a_scheduler(self):
+        sdb = ShardedDB(2, LeveledCompaction, config=sched_config(bg_threads=1))
+        scheds = [shard.sched for shard in sdb.shards]
+        assert all(s is not None for s in scheds)
+        assert scheds[0] is not scheds[1]
+        assert scheds[0].channel is not scheds[1].channel
+
+    def test_drain_scheduler_clears_all_shards(self):
+        sdb = ShardedDB(2, LeveledCompaction, config=sched_config(bg_threads=1))
+        write_some(sdb, 800)
+        sdb.drain_scheduler()
+        for shard in sdb.shards:
+            assert shard.sched.pending_chunks() == 0
+        sdb.check_invariants()
+
+    def test_drain_scheduler_noop_when_off(self):
+        sdb = ShardedDB(2, LeveledCompaction, config=sched_config(bg_threads=0))
+        write_some(sdb, 200)
+        sdb.drain_scheduler()  # must not raise
+        assert all(shard.sched is None for shard in sdb.shards)
+
+    def test_sharded_logical_contents_match_scheduler_off(self):
+        on = ShardedDB(4, LDCPolicy, config=sched_config(bg_threads=1))
+        off = ShardedDB(4, LDCPolicy, config=sched_config(bg_threads=0))
+        write_some(on, 600)
+        write_some(off, 600)
+        on.drain_scheduler()
+        assert on.logical_items() == off.logical_items()

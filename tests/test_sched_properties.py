@@ -1,0 +1,205 @@
+"""Hypothesis metamorphic properties of the compaction scheduler.
+
+Three relations the scheduler must preserve over *arbitrary* workloads,
+not just the seeded traces of the differential suite:
+
+1. **Schedule-invariance** — turning the scheduler on changes only *when*
+   time is charged, never *what* the store contains: for any op stream,
+   scheduler-on and scheduler-off runs end with identical logical
+   contents (capture mode applies compaction effects atomically, so the
+   tree walks through the same sequence of versions).
+2. **Stall monotonicity** — total throttle time (slowdown delays + stop
+   stalls) is non-increasing in the thread count *in aggregate* over a
+   workload battery.  Per-workload monotonicity is deliberately NOT
+   asserted: like any multiprocessor schedule, this one exhibits
+   Graham-style timing anomalies — adding a thread shifts *when* rounds
+   are captured, which changes what each round compacts, and a specific
+   stream can stall slightly longer with more threads (observed ~7% of
+   random workloads; see docs/SCHEDULING.md).  The aggregate relation is
+   the system-level claim and holds with wide margins, so the battery
+   test is deterministic rather than example-sampled.
+3. **Quiet-below-slowdown** — every stall/slowdown counter stays zero on
+   any workload whose Level 0 never reaches the slowdown trigger:
+   back-pressure must never fire spuriously.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import DB, LDCPolicy, LeveledCompaction, TieredCompaction
+from repro.lsm.compaction.delayed import DelayedCompaction
+from repro.lsm.config import LSMConfig
+
+POLICIES = {
+    "udc": LeveledCompaction,
+    "ldc": LDCPolicy,
+    "tiered": TieredCompaction,
+    "delayed": DelayedCompaction,
+}
+
+
+def make_config(bg_threads: int, aggressive_throttle: bool = False) -> LSMConfig:
+    """Tiny tree; optionally with triggers low enough to throttle often."""
+    throttle = (
+        dict(l0_compaction_trigger=2, l0_slowdown_trigger=3, l0_stop_trigger=5)
+        if aggressive_throttle
+        else {}
+    )
+    return LSMConfig(
+        memtable_bytes=2048,
+        sstable_target_bytes=2048,
+        block_bytes=512,
+        fan_out=4,
+        level1_capacity_bytes=4096,
+        max_levels=6,
+        slicelink_threshold=4,
+        bg_threads=bg_threads,
+        **throttle,
+    )
+
+
+def key_of(index: int) -> bytes:
+    return str(index).zfill(10).encode()
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("put"),
+            st.integers(min_value=0, max_value=80),
+            st.binary(min_size=1, max_size=120),
+        ),
+        st.tuples(
+            st.just("delete"),
+            st.integers(min_value=0, max_value=80),
+            st.none(),
+        ),
+        st.tuples(
+            st.just("get"),
+            st.integers(min_value=0, max_value=80),
+            st.none(),
+        ),
+    ),
+    max_size=300,
+)
+
+
+def replay(ops, policy_factory, config):
+    """Apply an op stream; return the finished DB."""
+    db = DB(config=config, policy=policy_factory())
+    for kind, index, value in ops:
+        if kind == "put":
+            db.put(key_of(index), value)
+        elif kind == "delete":
+            db.delete(key_of(index))
+        else:
+            db.get(key_of(index))
+    return db
+
+
+def total_throttle_us(db) -> float:
+    counter = db.registry.counter
+    return counter("sched.stall_time_us") + counter("sched.slowdown_time_us")
+
+
+class TestScheduleInvariance:
+    @given(ops=operations, policy_name=st.sampled_from(sorted(POLICIES)))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_on_off_logical_equivalence(self, ops, policy_name):
+        factory = POLICIES[policy_name]
+        on = replay(ops, factory, make_config(bg_threads=1))
+        off = replay(ops, factory, make_config(bg_threads=0))
+        on.sched.drain()
+        assert list(on.logical_items()) == list(off.logical_items())
+        on.check_invariants()
+
+    @given(ops=operations)
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_thread_count_does_not_change_contents(self, ops):
+        """Contents are also invariant across thread counts."""
+        contents = set()
+        for bg_threads in (1, 3):
+            db = replay(ops, LDCPolicy, make_config(bg_threads))
+            db.sched.drain()
+            contents.add(tuple(db.logical_items()))
+        assert len(contents) == 1
+
+
+class TestStallMonotonicity:
+    """Aggregate throttle time shrinks as background threads are added."""
+
+    def battery_stall_us(self, bg_threads: int) -> float:
+        """Total throttle time over every policy x a seed battery."""
+        import random
+
+        total = 0.0
+        for policy_name in sorted(POLICIES):
+            for seed in range(3):
+                db = DB(
+                    config=make_config(bg_threads, aggressive_throttle=True),
+                    policy=POLICIES[policy_name](),
+                )
+                rng = random.Random(seed)
+                for _ in range(500):
+                    key = key_of(rng.randrange(120))
+                    if rng.random() < 0.9:
+                        db.put(key, b"v" * rng.randrange(8, 160))
+                    else:
+                        db.delete(key)
+                total += total_throttle_us(db)
+        return total
+
+    def test_aggregate_stall_non_increasing_in_threads(self):
+        stalls = [self.battery_stall_us(bg) for bg in (1, 2, 4)]
+        assert stalls[0] >= stalls[1] >= stalls[2]
+        # The margins are wide (not a knife-edge inequality): going from
+        # one thread to four must at least halve total throttle time.
+        assert stalls[2] <= stalls[0] / 2
+
+
+class TestQuietBelowSlowdown:
+    @given(
+        ops=operations,
+        policy_name=st.sampled_from(sorted(POLICIES)),
+        bg_threads=st.integers(min_value=1, max_value=4),
+    )
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_no_spurious_backpressure(self, ops, policy_name, bg_threads):
+        """If L0 never reaches the slowdown trigger, throttling is silent.
+
+        The default triggers (slowdown at 8 files) are far above what
+        these small streams reach with compaction keeping up; the DB
+        tracks the high-water mark so runs that *do* cross it are simply
+        skipped rather than asserted on.
+        """
+        db = DB(
+            config=make_config(bg_threads), policy=POLICIES[policy_name]()
+        )
+        slowdown = db.config.l0_slowdown_trigger
+        high_water = 0
+        for kind, index, value in ops:
+            if kind == "put":
+                db.put(key_of(index), value)
+            elif kind == "delete":
+                db.delete(key_of(index))
+            else:
+                db.get(key_of(index))
+            high_water = max(high_water, len(db.version.levels[0]))
+        counter = db.registry.counter
+        if high_water < slowdown:
+            assert counter("sched.stall_events") == 0
+            assert counter("sched.slowdown_events") == 0
+            assert counter("sched.stall_time_us") == 0
+            assert counter("sched.slowdown_time_us") == 0
+            assert db.engine_stats.stall_time_us == 0

@@ -1,10 +1,10 @@
-"""Unit tests for the virtual clock."""
+"""Unit tests for the virtual clock, capture mode and the device channel."""
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import DeviceError
-from repro.ssd.clock import SimClock
+from repro.ssd.clock import CAPTURE_CPU, CAPTURE_IO, DeviceChannel, SimClock
 
 
 class TestSimClock:
@@ -59,3 +59,85 @@ class TestSimClock:
         for delta in deltas:
             clock.advance(delta)
         assert clock.now() == pytest.approx(sum(deltas), abs=1e-6)
+
+
+class TestCaptureMode:
+    """Capture freezes time and diverts charges (the scheduler's foundation)."""
+
+    def test_charges_diverted_and_tagged(self):
+        clock = SimClock(start_us=10.0)
+        clock.begin_capture()
+        assert clock.capturing
+        clock.advance(5.0)
+        clock.advance_io(3.0, 4096)
+        assert clock.now() == 10.0  # frozen throughout
+        items = clock.end_capture()
+        assert items == [(CAPTURE_CPU, 5.0, 0), (CAPTURE_IO, 3.0, 4096)]
+        assert not clock.capturing
+
+    def test_zero_charges_not_recorded(self):
+        clock = SimClock()
+        clock.begin_capture()
+        clock.advance(0.0)
+        clock.advance_io(0.0, 4096)
+        assert clock.end_capture() == []
+
+    def test_normal_advance_resumes_after_capture(self):
+        clock = SimClock()
+        clock.begin_capture()
+        clock.advance(99.0)
+        clock.end_capture()
+        clock.advance(1.0)
+        assert clock.now() == 1.0
+
+    def test_nested_capture_rejected(self):
+        clock = SimClock()
+        clock.begin_capture()
+        with pytest.raises(DeviceError):
+            clock.begin_capture()
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(DeviceError):
+            SimClock().end_capture()
+
+    def test_advance_to_rejected_during_capture(self):
+        clock = SimClock()
+        clock.begin_capture()
+        with pytest.raises(DeviceError):
+            clock.advance_to(100.0)
+
+    def test_negative_advance_rejected_during_capture(self):
+        clock = SimClock()
+        clock.begin_capture()
+        with pytest.raises(DeviceError):
+            clock.advance(-1.0)
+        with pytest.raises(DeviceError):
+            clock.advance_io(-1.0, 10)
+
+
+class TestDeviceChannel:
+    def test_initially_free(self):
+        channel = DeviceChannel()
+        assert channel.wait_us(0.0) == 0.0
+        assert channel.busy_until_us == 0.0
+
+    def test_wait_behind_horizon(self):
+        channel = DeviceChannel()
+        channel.occupy_until(100.0)
+        assert channel.wait_us(30.0) == 70.0
+        assert channel.wait_us(100.0) == 0.0
+        assert channel.wait_us(150.0) == 0.0
+
+    def test_occupy_never_moves_backwards(self):
+        channel = DeviceChannel()
+        channel.occupy_until(100.0)
+        channel.occupy_until(50.0)
+        assert channel.busy_until_us == 100.0
+
+    def test_release_drops_future_occupancy_only(self):
+        channel = DeviceChannel()
+        channel.occupy_until(100.0)
+        channel.release(60.0)
+        assert channel.busy_until_us == 60.0
+        channel.release(200.0)  # past horizon: no-op
+        assert channel.busy_until_us == 60.0
