@@ -48,16 +48,25 @@ from .errors import (
     DeviceError,
     EngineError,
     ReproError,
+    UnknownPolicyError,
     WorkloadError,
 )
 from .lsm import (
     DB,
     WriteBatch,
+    ComposedPolicy,
     CostModel,
     DelayedCompaction,
     LeveledCompaction,
     LSMConfig,
+    PolicySpec,
+    SpecFactory,
     TieredCompaction,
+    available_policies,
+    get_spec,
+    make_policy,
+    register_policy,
+    resolve_factory,
 )
 from .obs import (
     JsonLinesSink,
@@ -98,6 +107,14 @@ __all__ = [
     "LeveledCompaction",
     "TieredCompaction",
     "DelayedCompaction",
+    "PolicySpec",
+    "SpecFactory",
+    "ComposedPolicy",
+    "available_policies",
+    "get_spec",
+    "make_policy",
+    "register_policy",
+    "resolve_factory",
     "ShardedDB",
     "ShardedSnapshot",
     "HashPartitioner",
@@ -129,6 +146,7 @@ __all__ = [
     "EngineError",
     "ClosedError",
     "CompactionError",
+    "UnknownPolicyError",
     "WorkloadError",
     "__version__",
 ]

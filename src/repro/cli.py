@@ -13,6 +13,8 @@ Usage::
     python -m repro run RWB --bg-threads 2 --slowdown-l0 8 --stop-l0 12
     python -m repro fig01s --ops 12000              # scheduled interference
     python -m repro crashtest --policy ldc --every 25   # crash-consistency sweep
+    python -m repro explore --policies udc,ldc,lazy_leveling --mixes RWB
+    python -m repro explore --report-out REPORT_design_space.md
 
 The heavy lifting lives in :mod:`repro.harness.experiments`; this module
 maps experiment names to those entry points and prints their results as
@@ -30,8 +32,10 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
+from .errors import UnknownPolicyError
 from .harness import experiments
 from .harness.report import format_table, mib
+from .lsm.compaction.spec import resolve_factory
 from .obs import (
     EV_CACHE_HIT,
     EV_CACHE_MISS,
@@ -177,22 +181,26 @@ def _run_shard_scaling(ops: int, keys: int) -> None:
 def _run_describe(ops: int, keys: int) -> None:
     import random
 
-    from . import DB, LDCPolicy
+    from . import DB
 
-    db = DB(policy=LDCPolicy())
+    db = DB(policy="ldc")
     rng = random.Random(0)
     for _ in range(min(ops, 20_000)):
         db.put(str(rng.randrange(keys)).zfill(16).encode(), b"v" * 128)
     print(db.describe())
 
 
-#: Policy factories available to ``repro trace --policy``.
-TRACE_POLICIES: Dict[str, Callable[[], object]] = {
-    "udc": experiments.udc_factory,
-    "ldc": experiments.LDCPolicy,
-    "tiered": experiments.tiered_factory,
-    "delayed": experiments.delayed_factory,
-}
+def _policy_factory(name: str) -> Optional[Callable[[], object]]:
+    """Resolve a registered policy name via the central registry.
+
+    Prints the typed error (which lists every valid name) and returns
+    ``None`` on a miss; callers turn that into exit status 2.
+    """
+    try:
+        return resolve_factory(name)
+    except UnknownPolicyError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
 
 #: Per-I/O events are dropped from the trace by default — a traced run
 #: emits hundreds of device/cache events per compaction round, and the
@@ -220,10 +228,8 @@ def run_trace(
         known = ", ".join(TABLE_III)
         print(f"unknown workload {workload!r}; known: {known}", file=sys.stderr)
         return 2
-    policy_factory = TRACE_POLICIES.get(policy)
+    policy_factory = _policy_factory(policy)
     if policy_factory is None:
-        known = ", ".join(TRACE_POLICIES)
-        print(f"unknown policy {policy!r}; known: {known}", file=sys.stderr)
         return 2
 
     spec = spec_factory(num_operations=ops, key_space=keys, preload_keys=keys)
@@ -289,10 +295,8 @@ def run_sharded_cli(
         known = ", ".join(TABLE_III)
         print(f"unknown workload {workload!r}; known: {known}", file=sys.stderr)
         return 2
-    policy_factory = TRACE_POLICIES.get(policy)
+    policy_factory = _policy_factory(policy)
     if policy_factory is None:
-        known = ", ".join(TRACE_POLICIES)
-        print(f"unknown policy {policy!r}; known: {known}", file=sys.stderr)
         return 2
     overrides: Dict[str, object] = {"bg_threads": bg_threads}
     if slowdown_l0 is not None:
@@ -384,10 +388,8 @@ def run_crashtest_cli(
     """
     from .faults import crashtest
 
-    policy_factory = TRACE_POLICIES.get(policy)
+    policy_factory = _policy_factory(policy)
     if policy_factory is None:
-        known = ", ".join(TRACE_POLICIES)
-        print(f"unknown policy {policy!r}; known: {known}", file=sys.stderr)
         return 2
 
     def progress(done: int, total: int) -> None:
@@ -420,6 +422,106 @@ def run_crashtest_cli(
         print(corruption.summary())
     ok = report.ok and (corruption is None or corruption.ok)
     return 0 if ok else 1
+
+
+def run_explore_cli(
+    ops: int,
+    keys: int,
+    policies: Optional[str] = None,
+    mixes: Optional[str] = None,
+    profiles: Optional[str] = None,
+    report_out: Optional[str] = None,
+) -> int:
+    """Design-space exploration (``repro explore``).
+
+    Sweeps registered policy compositions across workload mixes and
+    device profiles, printing the WA/RA/p99 comparison grid; with
+    ``--report-out`` the markdown report is also written to disk.
+    """
+    from .errors import ConfigError
+    from .workload.spec import TABLE_III
+
+    policy_names = None
+    if policies:
+        policy_names = [item.strip() for item in policies.split(",") if item.strip()]
+        for name in policy_names:
+            if _policy_factory(name) is None:
+                return 2
+    mix_names = list(experiments.DESIGN_SPACE_MIXES)
+    if mixes:
+        mix_names = [item.strip() for item in mixes.split(",") if item.strip()]
+        for name in mix_names:
+            if name not in TABLE_III:
+                known = ", ".join(TABLE_III)
+                print(f"unknown workload {name!r}; known: {known}", file=sys.stderr)
+                return 2
+    profile_names = list(experiments.DESIGN_SPACE_PROFILES)
+    if profiles:
+        profile_names = [item.strip() for item in profiles.split(",") if item.strip()]
+    try:
+        report = experiments.design_space(
+            policies=policy_names,
+            mixes=mix_names,
+            profiles=profile_names,
+            ops=ops,
+            key_space=keys,
+        )
+    except ConfigError as exc:  # unknown device profile
+        print(str(exc), file=sys.stderr)
+        return 2
+    rows = [
+        (
+            point.policy,
+            point.workload,
+            point.profile,
+            round(point.throughput_ops_s),
+            round(point.p99_us, 1),
+            round(point.write_amplification, 2),
+            round(point.read_amplification, 2),
+            round(point.compaction_mib, 2),
+            round(point.space_mib, 2),
+        )
+        for point in report["points"]
+    ]
+    print(
+        format_table(
+            [
+                "policy",
+                "workload",
+                "device",
+                "ops/s",
+                "p99 us",
+                "WA",
+                "RA",
+                "compact MiB",
+                "space MiB",
+            ],
+            rows,
+            title="design-space exploration",
+        )
+    )
+    winner_rows = [
+        (
+            cell,
+            best["write_amplification"],
+            best["read_amplification"],
+            best["p99_us"],
+            best["throughput_ops_s"],
+        )
+        for cell, best in report["winners"].items()
+    ]
+    print(
+        format_table(
+            ["cell", "lowest WA", "lowest RA", "lowest p99", "highest ops/s"],
+            winner_rows,
+            title="winners",
+        )
+    )
+    if report_out is not None:
+        with open(report_out, "w", encoding="utf-8") as handle:
+            handle.write(experiments.format_design_report(report))
+        print(f"report written to {report_out}")
+    return 0
 
 
 def run_bench_compare(paths: List[str], threshold: float) -> int:
@@ -562,7 +664,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--policy",
         default="ldc",
-        help="compaction policy for 'trace': udc, ldc, tiered or delayed",
+        help="registered compaction policy for 'trace'/'run'/'crashtest' "
+        "(see `repro explore` or repro.available_policies())",
+    )
+    parser.add_argument(
+        "--policies",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated registered policies to sweep "
+        "('explore' only, default: all)",
+    )
+    parser.add_argument(
+        "--mixes",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated Table III workload mixes "
+        "('explore' only, default: WO,RWB,RH)",
+    )
+    parser.add_argument(
+        "--profiles",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated device profiles "
+        "('explore' only, default: enterprise-pcie)",
+    )
+    parser.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        help="write the markdown comparison report to PATH ('explore' only)",
     )
     parser.add_argument(
         "--trace-out",
@@ -707,7 +837,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("bench")
         print("run")
         print("crashtest")
+        print("explore")
         return 0
+    if args.experiment == "explore":
+        return run_explore_cli(
+            args.ops,
+            args.keys,
+            policies=args.policies,
+            mixes=args.mixes,
+            profiles=args.profiles,
+            report_out=args.report_out,
+        )
     if args.experiment == "crashtest":
         return run_crashtest_cli(
             args.policy,

@@ -5,16 +5,22 @@
 * :class:`~repro.core.slice.Slice` — key-subrange views of frozen files;
 * :class:`~repro.core.frozen.FrozenRegion` — refcounted frozen storage;
 * :class:`~repro.core.adaptive.AdaptiveThreshold` — the self-tuning
-  SliceLink threshold of §III-B.4.
+  SliceLink threshold of §III-B.4;
+* :mod:`~repro.core.primitives` — LDC as design-space primitives: the
+  ``ldc_unit`` selector and the ``ldc_link_merge`` movement behind the
+  registered ``ldc`` composition.
 """
 
 from .adaptive import AdaptiveThreshold
 from .frozen import FrozenRegion
 from .ldc import LDCPolicy
+from .primitives import LDCLinkMergeMovement, LDCUnitSelector
 from .slice import Slice, attach_slice, slices_newest_first
 
 __all__ = [
     "LDCPolicy",
+    "LDCUnitSelector",
+    "LDCLinkMergeMovement",
     "Slice",
     "attach_slice",
     "slices_newest_first",

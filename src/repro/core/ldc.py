@@ -15,35 +15,27 @@ slices are read, merge-sorted, and rewritten as new SSTables *in the same
 level*; every source frozen file drops one reference and is recycled at
 zero (Algorithm 1, lines 10–22).
 
-Because the merge trigger waits for roughly one file's worth of linked
-upper-level data, each round's extra lower-level I/O is O(1) files instead
-of O(fan_out) — Theorem 3.1's write-amplification reduction — and each
-round is small, which shrinks the tail latency of equation (3).
-
-Responsibility ranges follow Example 3.2: lower-level file ``j`` owns keys
-in ``(max_key(j-1), max_key(j)]``, the first file extending down to the
-smallest possible key and the last file up to the largest.
+.. deprecated::
+    The implementation now lives in the design-space primitives
+    (:mod:`repro.core.primitives`): LDC is the registered composition
+    ``ldc`` = fanout trigger × ldc_unit selector × ldc_link_merge
+    movement × leveled layout.  This class remains as a byte-identical
+    shim; build new code from the registry (``DB(policy="ldc")``) or
+    derive a spec with custom knobs:
+    ``get_spec("ldc").derive(threshold=8, adaptive=True)``.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from .adaptive import AdaptiveThreshold
-from .frozen import FrozenRegion
-from .slice import Slice, attach_slice, detach_all_slices
-from ..errors import CompactionError
-from ..lsm.compaction.base import CompactionPolicy, guard_rounds
-from ..lsm.keys import key_successor
+from ..lsm.compaction.composed import ComposedPolicy, warn_legacy_class
+from ..lsm.compaction.spec import get_spec
 from ..lsm.sstable import SSTable
-from ..obs.events import EV_LINK, EV_MERGE, EV_TRIVIAL_MOVE
-from ..ssd.metrics import COMPACTION_READ
 
 
-class LDCPolicy(CompactionPolicy):
+class LDCPolicy(ComposedPolicy):
     """The paper's Lower-level Driven Compaction policy."""
-
-    name = "ldc"
 
     def __init__(
         self,
@@ -61,404 +53,36 @@ class LDCPolicy(CompactionPolicy):
             Enable the §III-B.4 self-adaptive controller; defaults to the
             engine config's ``adaptive_threshold`` flag.
         """
-        super().__init__()
-        self._threshold_override = threshold
-        self._adaptive_override = adaptive
-        self._fixed_threshold = 0
-        self._adaptive: Optional[AdaptiveThreshold] = None
-        self.frozen = FrozenRegion()
-        self._link_seq = 0
-        #: Active lower-level tables currently holding at least one slice,
-        #: keyed by file id (merge-trigger scan set).
-        self._linked_tables: dict[int, SSTable] = {}
-        #: Subset of linked tables already past the merge trigger, filled
-        #: at link time so the per-operation check is O(1).
-        self._due: dict[int, SSTable] = {}
-        self._last_threshold: Optional[int] = None
+        warn_legacy_class("LDCPolicy", "ldc")
+        spec = get_spec("ldc")
+        overrides = {}
+        if threshold is not None:
+            overrides["threshold"] = threshold
+        if adaptive is not None:
+            overrides["adaptive"] = adaptive
+        if overrides:
+            spec = spec.derive(**overrides)
+        super().__init__(spec)
 
-    # ------------------------------------------------------------------
-    # Lifecycle / hooks
-    # ------------------------------------------------------------------
-    def attach(self, db) -> None:  # type: ignore[override]
-        super().attach(db)
-        config = db.config
-        self._fixed_threshold = (
-            self._threshold_override
-            if self._threshold_override is not None
-            else config.slicelink_threshold
-        )
-        use_adaptive = (
-            self._adaptive_override
-            if self._adaptive_override is not None
-            else config.adaptive_threshold
-        )
-        if use_adaptive:
-            self._adaptive = AdaptiveThreshold(config.fan_out)
+    # Legacy introspection points, forwarded to the link/merge movement.
+    @property
+    def frozen(self):
+        return self.movement.frozen
 
     @property
-    def threshold(self) -> int:
-        """Current SliceLink threshold ``T_s``."""
-        if self._adaptive is not None:
-            return self._adaptive.threshold
-        return self._fixed_threshold
-
-    def on_operation(self, is_write: bool) -> None:
-        if self._adaptive is not None:
-            self._adaptive.observe(is_write)
-
-    def extra_space_bytes(self) -> int:
-        return self.frozen.space_bytes
-
-    # ------------------------------------------------------------------
-    # Main loop
-    # ------------------------------------------------------------------
-    def compact_one(self) -> bool:
-        """One I/O-bearing round: a merge, or a batch of zero-I/O links.
-
-        Priority order: (1) merge a lower-level table whose SliceLinks are
-        due (Algorithm 1's trigger); (2) relieve frozen-region space
-        pressure; (3) shrink the most over-capacity level — by linking
-        (free, so several links may batch into this round until a merge
-        happens or the tree is in shape) or, when every file in the level
-        already holds links, by merging one.
-        """
-        db = self._db
-        did_work = False
-        rounds = 0
-        while True:
-            rounds += 1
-            guard_rounds(rounds)
-            if self._merge_over_threshold():
-                return True
-            if self._enforce_frozen_space_limit():
-                return True
-            level = db.version.pick_compaction_level()
-            if level is None:
-                return did_work
-            if self._compact_once(level):
-                return True
-            # A link or trivial move happened: free, keep going.
-            did_work = True
+    def _adaptive(self):
+        return self.movement._adaptive
 
     def due_for_merge(self, table: SSTable) -> bool:
-        """Has ``table`` accumulated enough linked data to merge?
+        return self.movement.due_for_merge(table)
 
-        The paper triggers the merge "when a lower-level SSTable has
-        accumulated nearly the same amount of data as itself" and exposes
-        the SliceLink threshold ``T_s`` as the knob, with ``T_s = fan_out``
-        the balanced optimum (each slice is ~1/fan_out of a file, so
-        ``fan_out`` slices equal one file).  In a simulated tree whose
-        level-size ratios are not yet at steady state, slice sizes deviate
-        from 1/fan_out, so we apply the *data-amount* form directly and
-        scale it by the knob: merge once
-
-            linked_bytes >= (T_s / fan_out) * file_bytes.
-
-        At ``T_s = fan_out`` this is exactly the paper's "same amount of
-        data" condition; smaller thresholds merge earlier (less slice
-        accumulation, more extra I/O), larger ones later (less write
-        amplification, more fragments to read) — precisely the Fig. 12a/d
-        trade-off.  A slice-count backstop (4x the nominal count) bounds
-        metadata growth when individual slices are tiny.
-        """
-        if not table.slice_links:
-            return False
-        ratio = self.threshold / self._db.config.fan_out
-        if table.linked_bytes >= ratio * table.data_size:
-            return True
-        return len(table.slice_links) >= 4 * max(1, self.threshold)
-
-    def _merge_over_threshold(self) -> bool:
-        """Merge one table whose accumulated SliceLinks have reached T_s."""
-        threshold = self.threshold
-        if self._last_threshold is not None and threshold < self._last_threshold:
-            # The adaptive controller lowered T_s: tables that were below
-            # the old trigger may be due now, so refresh the due set.
-            for table in self._linked_tables.values():
-                if self.due_for_merge(table):
-                    self._due[table.file_id] = table
-        self._last_threshold = threshold
-        while self._due:
-            file_id, table = next(iter(self._due.items()))
-            del self._due[file_id]
-            # Entries can go stale if T_s rose since they were queued.
-            if file_id in self._linked_tables and self.due_for_merge(table):
-                self.merge(table)
-                return True
-        return False
-
-    def _enforce_frozen_space_limit(self) -> bool:
-        """Force a merge when the frozen region grows past its cap (§III-D)."""
-        db = self._db
-        limit = db.config.frozen_space_limit_ratio * max(
-            1, db.version.total_data_size()
-        )
-        if self.frozen.space_bytes <= limit or not self._linked_tables:
-            return False
-        victim = max(
-            self._linked_tables.values(), key=lambda table: table.linked_bytes
-        )
-        db.engine_stats.forced_merges += 1
-        self.bump("forced_merges")
-        self.merge(victim)
-        return True
-
-    # ------------------------------------------------------------------
-    # One compaction action for an over-capacity level
-    # ------------------------------------------------------------------
-    def _compact_once(self, level: int) -> bool:
-        """One action against an over-capacity level.
-
-        Returns True when the action performed I/O (a merge), False for
-        zero-I/O metadata actions (a link or a trivial move).
-        """
-        db = self._db
-        version = db.version
-        source = self._pick_link_source(level)
-        if source is None:
-            # Paper rule: a file holding SliceLinks cannot be a link
-            # source (§III-D), and every file in this level holds links.
-            # Merge the most-linked one; its outputs become link-free and
-            # eligible to link down on a later round.
-            victim = max(
-                version.files(level), key=lambda table: len(table.slice_links)
-            )
-            self.merge(victim)
-            return True
-        version.advance_compact_pointer(level, source)
-        targets = version.files(level + 1)
-        if not targets:
-            return self._descend_into_empty_level(level, source)
-        self.link(source, level)
-        return False
-
-    def _pick_link_source(self, level: int) -> Optional[SSTable]:
-        """Round-robin over the level's link-free files (None if all linked).
-
-        Level 0 always picks the *oldest* file: Level-0 files overlap, and
-        freezing strictly oldest-first guarantees that later-linked slices
-        always carry newer data than earlier-linked ones, which the read
-        path's newest-link-first priority relies on.
-        """
-        version = self._db.version
-        candidates = [
-            table for table in version.files(level) if not table.slice_links
-        ]
-        if not candidates:
-            return None
-        if level == 0:
-            return min(candidates, key=lambda table: table.file_id)
-        pointer = version.compact_pointer.get(level)
-        if pointer is not None:
-            for table in sorted(candidates, key=lambda t: t.min_key):
-                if table.max_key > pointer:
-                    return table
-        return min(candidates, key=lambda table: table.min_key)
-
-    def _descend_into_empty_level(self, level: int, source: SSTable) -> bool:
-        """Move data into an empty next level (bootstrap path).
-
-        With nothing below there is nothing to *drive* a lower-level
-        compaction, so LDC behaves like LevelDB here: trivially move the
-        file when safe (zero I/O, returns False), otherwise merge the
-        Level-0 overlapping set down (returns True).
-        """
-        db = self._db
-        version = db.version
-        if level != 0 or self._alone_in_level0(source):
-            version.remove_file(level, source)
-            version.add_file(level + 1, source)
-            db.engine_stats.trivial_moves += 1
-            self.bump("trivial_moves")
-            db.tracer.emit(
-                EV_TRIVIAL_MOVE, policy=self.name, file_id=source.file_id,
-                from_level=level, to_level=level + 1,
-            )
-            return False
-        inputs = self._expanded_level0_set(source)
-        drop = self.can_drop_tombstones(level + 1)
-        outputs = self.merge_tables(inputs, drop_deletes=drop)
-        for table in inputs:
-            version.remove_file(0, table)
-            db.note_file_dropped(table)
-        for table in outputs:
-            version.add_file(1, table)
-        db.engine_stats.compaction_count += 1
-        self.bump("bootstrap_compactions")
-        return True
-
-    def _alone_in_level0(self, table: SSTable) -> bool:
-        overlapping = self._db.version.overlapping(
-            0, table.min_key, key_successor(table.max_key)
-        )
-        return len(overlapping) == 1
-
-    def _expanded_level0_set(self, seed: SSTable) -> List[SSTable]:
-        version = self._db.version
-        chosen = {seed.file_id: seed}
-        lo, hi = seed.min_key, key_successor(seed.max_key)
-        changed = True
-        while changed:
-            changed = False
-            for table in version.overlapping(0, lo, hi):
-                if table.file_id not in chosen:
-                    chosen[table.file_id] = table
-                    lo = min(lo, table.min_key)
-                    hi = max(hi, key_successor(table.max_key))
-                    changed = True
-        return sorted(chosen.values(), key=lambda table: table.file_id)
-
-    # ------------------------------------------------------------------
-    # Phase 1: link (Algorithm 1, lines 1-9) — zero I/O
-    # ------------------------------------------------------------------
     def link(self, source: SSTable, level: int) -> None:
-        """Freeze ``source`` and link its slices onto level ``level+1``."""
-        db = self._db
-        version = db.version
-        if source.slice_links:
-            raise CompactionError(
-                f"file {source.file_id} holds SliceLinks and cannot be linked"
-            )
-        plan = self._slice_plan(source, level + 1)
-        if not plan:
-            raise CompactionError(
-                f"no responsibility targets found for file {source.file_id}; "
-                f"level {level + 1} must be non-empty to drive a link"
-            )
-        version.remove_file(level, source)
-        self.frozen.freeze(source, references=len(plan))
-        for target, lo, hi in plan:
-            self._link_seq += 1
-            piece = Slice(source, lo, hi, self._link_seq)
-            attach_slice(target, piece)
-            version.note_linked_bytes(level + 1, piece.size_bytes)
-            self._linked_tables[target.file_id] = target
-            if self.due_for_merge(target):
-                self._due[target.file_id] = target
-        db.engine_stats.link_count += 1
-        self.bump("links")
-        self.bump("slices_created", len(plan))
-        self.set_metric_gauge("threshold", self.threshold)
-        self.set_metric_gauge("frozen_space_bytes", self.frozen.space_bytes)
-        db.tracer.emit(
-            EV_LINK,
-            source_file=source.file_id,
-            from_level=level,
-            to_level=level + 1,
-            slices=len(plan),
-            frozen_bytes=source.data_size,
-        )
-        # Algorithm 1 lines 8-9 trigger the merge of any target now at the
-        # threshold; the main loop's first priority performs it on the next
-        # round, which is equivalent and keeps "one I/O unit per round".
+        self.movement.link(source, level)
+
+    def merge(self, target: SSTable) -> None:
+        self.movement.merge(target)
 
     def _slice_plan(
         self, source: SSTable, target_level: int
     ) -> List[Tuple[SSTable, Optional[bytes], Optional[bytes]]]:
-        """Partition ``source`` over the responsibility ranges of a level.
-
-        Returns ``(target_file, lo, hi)`` triples (half-open ranges) for
-        every lower-level file that owns at least one of the source's keys.
-        The ranges tile the whole key space, so every source key is
-        assigned to exactly one target.
-        """
-        files = self._db.version.files(target_level)
-        plan: List[Tuple[SSTable, Optional[bytes], Optional[bytes]]] = []
-        previous_hi: Optional[bytes] = None
-        for index, target in enumerate(files):
-            lo = previous_hi
-            is_last = index == len(files) - 1
-            hi = None if is_last else key_successor(target.max_key)
-            previous_hi = hi
-            if source.count_in_range(lo, hi) > 0:
-                plan.append((target, lo, hi))
-        return plan
-
-    # ------------------------------------------------------------------
-    # Phase 2: merge (Algorithm 1, lines 10-22) — the actual I/O
-    # ------------------------------------------------------------------
-    def merge(self, target: SSTable) -> None:
-        """Lower-level driven merge of ``target`` with its linked slices."""
-        db = self._db
-        version = db.version
-        slices = list(target.slice_links)
-        if not slices:
-            raise CompactionError(
-                f"file {target.file_id} has no SliceLinks to merge"
-            )
-        level = version.level_of(target)
-
-        # Load the lower file in full and each slice's overlapping blocks.
-        db.device.read(target.data_size, COMPACTION_READ, sequential=True)
-        if db._faulty:
-            db._verify_block_read(target, range(target.num_blocks))
-        for piece in slices:
-            db.device.read(
-                piece.read_block_bytes(), COMPACTION_READ, sequential=True
-            )
-            if db._faulty:
-                db._verify_block_read(
-                    piece.source,
-                    [b for b, _ in piece.source.blocks_in_range(piece.lo, piece.hi)],
-                )
-
-        streams = [target.records]
-        streams.extend(piece.records() for piece in slices)
-        drop = self.can_drop_tombstones(level)
-        merged = self.merge_table_streams(streams, drop_deletes=drop)
-        outputs = self.write_outputs(merged)
-
-        version.remove_file(level, target)
-        db.note_file_dropped(target)
-        self._linked_tables.pop(target.file_id, None)
-        self._due.pop(target.file_id, None)
-        detach_all_slices(target)
-        for table in outputs:
-            version.add_file(level, table)
-        for piece in slices:
-            # release() reports True when the last reference drops and the
-            # frozen file is recycled — only then are its blocks dead.
-            if self.frozen.release(piece.source):
-                db.note_file_dropped(piece.source)
-        db.engine_stats.merge_count += 1
-        db.engine_stats.compaction_count += 1
-        self.bump("merges")
-        self.bump("slices_merged", len(slices))
-        self.set_metric_gauge("threshold", self.threshold)
-        self.set_metric_gauge("frozen_space_bytes", self.frozen.space_bytes)
-        db.tracer.emit(
-            EV_MERGE,
-            target_file=target.file_id,
-            level=level,
-            slices=len(slices),
-            outputs=len(outputs),
-            target_bytes=target.data_size,
-        )
-
-    # ------------------------------------------------------------------
-    def check_invariants(self) -> None:
-        """Cross-check policy bookkeeping (used by tests)."""
-        self.frozen.check_invariants()
-        for table in self._linked_tables.values():
-            if not table.slice_links:
-                raise CompactionError(
-                    f"table {table.file_id} tracked as linked but has no links"
-                )
-            if not self._db.version.contains(table):
-                raise CompactionError(
-                    f"linked table {table.file_id} is not in the tree"
-                )
-        # Every frozen file's refcount must equal its live slice count.
-        live_refs: dict[int, int] = {}
-        for table in self._linked_tables.values():
-            for piece in table.slice_links:
-                live_refs[piece.source.file_id] = (
-                    live_refs.get(piece.source.file_id, 0) + 1
-                )
-        for frozen_file in self.frozen.files():
-            expected = live_refs.get(frozen_file.file_id, 0)
-            if frozen_file.refcount != expected:
-                raise CompactionError(
-                    f"frozen file {frozen_file.file_id} refcount "
-                    f"{frozen_file.refcount} != live slices {expected}"
-                )
+        return self.movement._slice_plan(source, target_level)

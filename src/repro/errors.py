@@ -88,5 +88,30 @@ class CompactionError(EngineError):
     """A compaction policy produced an inconsistent plan or result."""
 
 
+class UnknownPolicyError(ConfigError):
+    """A compaction policy name was not found in the policy registry.
+
+    Raised by :func:`repro.lsm.compaction.spec.get_spec` (and every
+    consumer that resolves policy names through it — CLI, harness,
+    crashtest, sharding) so one typed error carries both the offending
+    name and the full list of valid names.
+
+    Attributes
+    ----------
+    name:
+        The unknown policy name as supplied by the caller.
+    known:
+        Sorted tuple of every registered policy name.
+    """
+
+    def __init__(self, name: str, known: tuple) -> None:
+        self.name = name
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown compaction policy {name!r}; "
+            f"known policies: {', '.join(self.known)}"
+        )
+
+
 class WorkloadError(ReproError):
     """A workload specification is malformed."""

@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .plan import FaultPlan
 from ..errors import CorruptionError, ReproError, SimulatedCrash
+from ..lsm.compaction.spec import resolve_factory
 from ..lsm.config import LSMConfig
 from ..lsm.db import DB, WriteBatch
 from ..shard.db import ShardedDB
@@ -48,6 +49,8 @@ from ..shard.db import ShardedDB
 #: ("batch", ((key, value-or-None), ...)).
 Operation = Tuple
 
+#: Zero-arg policy factory; every crashtest entry point also accepts a
+#: registered policy name or a PolicySpec (coerced via ``resolve_factory``).
 PolicyFactory = Callable[[], object]
 
 #: torn_fraction cycle applied across successive crash points.
@@ -191,6 +194,7 @@ def _build_store(
     shards: int,
     plans: Optional[List[Optional[FaultPlan]]],
 ) -> Union[DB, ShardedDB]:
+    policy_factory = resolve_factory(policy_factory)
     if shards <= 1:
         plan = plans[0] if plans else None
         return DB(config=config, policy=policy_factory(), seed=seed, fault_plan=plan)
@@ -590,7 +594,12 @@ def run_corruption_test(
         plan.corrupt_read(index)
     scheduled = plan.pending_corruptions
 
-    store = DB(config=config, policy=policy_factory(), seed=seed, fault_plan=plan)
+    store = DB(
+        config=config,
+        policy=resolve_factory(policy_factory)(),
+        seed=seed,
+        fault_plan=plan,
+    )
     detected = 0
     for op in operations:
         try:

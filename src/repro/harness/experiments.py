@@ -28,12 +28,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .latency import PAPER_PERCENTILES
 from .runner import RunResult, run_workload
-from ..core.ldc import LDCPolicy
-from ..lsm.compaction.delayed import DelayedCompaction
-from ..lsm.compaction.leveled import LeveledCompaction
-from ..lsm.compaction.tiered import TieredCompaction
+from ..lsm.compaction.spec import (
+    PolicySpec,
+    SpecFactory,
+    available_policies,
+    get_spec,
+)
 from ..lsm.config import LSMConfig
-from ..ssd.profile import ENTERPRISE_PCIE, SSDProfile
+from ..ssd.profile import ENTERPRISE_PCIE, SSDProfile, get_profile
 from ..workload import spec as workloads
 from ..workload.spec import WorkloadSpec
 
@@ -53,39 +55,37 @@ def experiment_config(**overrides: object) -> LSMConfig:
     return LSMConfig(**overrides)  # type: ignore[arg-type]
 
 
-def udc_factory() -> LeveledCompaction:
-    return LeveledCompaction()
-
-
-@dataclass(frozen=True)
-class _LDCFactory:
-    """Picklable parameterised LDC factory (closures cannot cross process
-    boundaries, and grid tasks must)."""
-
-    threshold: Optional[int] = None
-    adaptive: Optional[bool] = None
-
-    def __call__(self) -> LDCPolicy:
-        return LDCPolicy(threshold=self.threshold, adaptive=self.adaptive)
+def udc_factory() -> object:
+    return get_spec("udc").build()
 
 
 def ldc_factory(
     threshold: Optional[int] = None, adaptive: Optional[bool] = None
-) -> Callable[[], LDCPolicy]:
-    return _LDCFactory(threshold=threshold, adaptive=adaptive)
+) -> Callable[[], object]:
+    """Picklable parameterised LDC factory built from the registered spec
+    (closures cannot cross process boundaries, and grid tasks must)."""
+    overrides = {}
+    if threshold is not None:
+        overrides["threshold"] = threshold
+    if adaptive is not None:
+        overrides["adaptive"] = adaptive
+    spec = get_spec("ldc")
+    if overrides:
+        spec = spec.derive(**overrides)
+    return SpecFactory(spec)
 
 
-def tiered_factory() -> TieredCompaction:
-    return TieredCompaction()
+def tiered_factory() -> object:
+    return get_spec("tiered").build()
 
 
-def delayed_factory() -> DelayedCompaction:
-    return DelayedCompaction()
+def delayed_factory() -> object:
+    return get_spec("delayed").build()
 
 
 BOTH_POLICIES: Sequence[Tuple[str, Callable[[], object]]] = (
     ("UDC", udc_factory),
-    ("LDC", LDCPolicy),
+    ("LDC", ldc_factory()),
 )
 
 
@@ -554,7 +554,7 @@ def fig13_bloom_ro(
             f"bits={bits}",
             spec_item,
             "LDC",
-            LDCPolicy,
+            ldc_factory(),
             experiment_config(bloom_bits_per_key=bits),
         )
         for bits in bits_per_key
@@ -707,7 +707,7 @@ def ablation_tiered_tail(
     spec_item = workloads.rwb(num_operations=ops, key_space=key_space)
     policies = (
         ("UDC", udc_factory),
-        ("LDC", LDCPolicy),
+        ("LDC", ldc_factory()),
         ("Tiered", tiered_factory),
         ("Delayed", delayed_factory),
     )
@@ -738,3 +738,167 @@ def ablation_device_asymmetry(
         for policy_name, factory in BOTH_POLICIES
     ]
     return _grid_output("ablation_asymmetry", tasks)
+
+
+# ----------------------------------------------------------------------
+# Design-space explorer (`repro explore`) — spec x workload x device
+# ----------------------------------------------------------------------
+#: Default grid swept by ``repro explore``: every registered policy over
+#: the paper's central mixes on the enterprise PCIe device.
+DESIGN_SPACE_MIXES: Tuple[str, ...] = ("WO", "RWB", "RH")
+DESIGN_SPACE_PROFILES: Tuple[str, ...] = ("enterprise-pcie",)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One (policy, workload, device) cell of the explorer grid."""
+
+    policy: str
+    workload: str
+    profile: str
+    throughput_ops_s: float
+    p99_us: float
+    p999_us: float
+    write_amplification: float
+    read_amplification: float
+    compaction_mib: float
+    space_mib: float
+    stall_time_us: float
+
+
+def read_amplification(result: RunResult) -> float:
+    """Device bytes read per user-requested byte (reads + scans).
+
+    Mirrors ``RunResult.write_amplification``: total device read traffic
+    (user reads, compaction reads, WAL recovery, ...) over the bytes the
+    user actually asked for.  Zero when the workload never read.
+    """
+    counters = result.metrics.counters if result.metrics is not None else {}
+    user = counters.get("device.read.user_read.bytes", 0) + counters.get(
+        "device.read.user_scan.bytes", 0
+    )
+    if user <= 0:
+        return 0.0
+    return result.total_read_bytes / user
+
+
+def design_space(
+    policies: Optional[Sequence[object]] = None,
+    mixes: Sequence[str] = DESIGN_SPACE_MIXES,
+    profiles: Sequence[str] = DESIGN_SPACE_PROFILES,
+    ops: int = DEFAULT_OPS,
+    key_space: int = DEFAULT_KEY_SPACE,
+    config: Optional[LSMConfig] = None,
+) -> Dict[str, object]:
+    """Sweep policy spec x workload mix x device profile through the grid.
+
+    ``policies`` may mix registered names and :class:`PolicySpec`
+    instances; the default sweeps every policy in the registry.  Each
+    cell is one independent :class:`GridTask` (so ``--workers`` fans the
+    sweep out bit-identically).  Returns the comparison report behind
+    ``repro explore``: one :class:`DesignPoint` per cell plus the
+    per-(workload, device) winners on WA / RA / p99 / throughput.
+    """
+    if policies is None:
+        policy_specs = [get_spec(name) for name in available_policies()]
+    else:
+        policy_specs = [
+            item if isinstance(item, PolicySpec) else get_spec(str(item))
+            for item in policies
+        ]
+    engine_config = config if config is not None else experiment_config()
+    spec_items = _paper_mixes(mixes, ops, key_space)
+    tasks = [
+        GridTask(
+            f"{pspec.name}/{spec_item.name}/{profile_name}",
+            spec_item,
+            pspec.name,
+            SpecFactory(pspec),
+            engine_config,
+            get_profile(profile_name),
+        )
+        for profile_name in profiles
+        for spec_item in spec_items
+        for pspec in policy_specs
+    ]
+    results = run_grid(tasks)
+    points = [
+        DesignPoint(
+            policy=task.policy,
+            workload=task.spec.name,
+            profile=task.profile.name,
+            throughput_ops_s=result.throughput_ops_s,
+            p99_us=result.latencies.percentile(99.0),
+            p999_us=result.latencies.percentile(99.9),
+            write_amplification=result.write_amplification,
+            read_amplification=read_amplification(result),
+            compaction_mib=result.compaction_bytes_total / 2**20,
+            space_mib=result.space_bytes / 2**20,
+            stall_time_us=result.stall_time_us,
+        )
+        for task, result in zip(tasks, results)
+    ]
+    winners: Dict[str, Dict[str, str]] = {}
+    for workload, profile_name in sorted({(p.workload, p.profile) for p in points}):
+        cell = [
+            p for p in points if p.workload == workload and p.profile == profile_name
+        ]
+        winners[f"{workload}@{profile_name}"] = {
+            "write_amplification": min(
+                cell, key=lambda p: p.write_amplification
+            ).policy,
+            "read_amplification": min(cell, key=lambda p: p.read_amplification).policy,
+            "p99_us": min(cell, key=lambda p: p.p99_us).policy,
+            "throughput_ops_s": max(cell, key=lambda p: p.throughput_ops_s).policy,
+        }
+    return {
+        "points": points,
+        "winners": winners,
+        "policies": [spec.name for spec in policy_specs],
+        "mixes": list(mixes),
+        "profiles": list(profiles),
+        "ops": ops,
+        "key_space": key_space,
+    }
+
+
+def format_design_report(report: Dict[str, object]) -> str:
+    """Render a ``design_space`` report as the committed markdown table."""
+    points: Sequence[DesignPoint] = report["points"]  # type: ignore[assignment]
+    winners: Dict[str, Dict[str, str]] = report["winners"]  # type: ignore[assignment]
+    lines = [
+        "# Compaction design-space exploration",
+        "",
+        f"Grid: {len(report['policies'])} policies x "  # type: ignore[arg-type]
+        f"{len(report['mixes'])} workloads x "  # type: ignore[arg-type]
+        f"{len(report['profiles'])} devices "  # type: ignore[arg-type]
+        f"({report['ops']} ops over {report['key_space']} keys per cell).",
+        "",
+        f"Policies: {', '.join(report['policies'])}.",  # type: ignore[arg-type]
+        "",
+        "| policy | workload | device | ops/s | p99 (us) | WA | RA "
+        "| compaction (MiB) | space (MiB) |",
+        "|---|---|---|---:|---:|---:|---:|---:|---:|",
+    ]
+    for p in points:
+        lines.append(
+            f"| {p.policy} | {p.workload} | {p.profile} "
+            f"| {p.throughput_ops_s:.0f} | {p.p99_us:.1f} "
+            f"| {p.write_amplification:.2f} | {p.read_amplification:.2f} "
+            f"| {p.compaction_mib:.2f} | {p.space_mib:.2f} |"
+        )
+    lines += [
+        "",
+        "## Winners per (workload, device)",
+        "",
+        "| cell | lowest WA | lowest RA | lowest p99 | highest ops/s |",
+        "|---|---|---|---|---|",
+    ]
+    for cell, best in winners.items():
+        lines.append(
+            f"| {cell} | {best['write_amplification']} "
+            f"| {best['read_amplification']} | {best['p99_us']} "
+            f"| {best['throughput_ops_s']} |"
+        )
+    lines.append("")
+    return "\n".join(lines)

@@ -19,6 +19,7 @@ from typing import Callable, Dict, Optional
 
 from .latency import LatencyRecorder, LatencyTimeline
 from ..errors import WorkloadError
+from ..lsm.compaction.spec import resolve_factory
 from ..lsm.config import LSMConfig
 from ..lsm.db import DB
 from ..obs.snapshot import MetricsSnapshot
@@ -34,7 +35,11 @@ from ..workload.ycsb import (
     WorkloadGenerator,
 )
 
-#: Factory producing a fresh policy instance per run (policies are stateful).
+#: Factory producing a fresh policy instance per run (policies are
+#: stateful).  Every harness entry point also accepts a registered policy
+#: name or a :class:`~repro.lsm.compaction.spec.PolicySpec` wherever a
+#: factory is expected (coerced through
+#: :func:`~repro.lsm.compaction.spec.resolve_factory`).
 PolicyFactory = Callable[[], object]
 
 
@@ -116,10 +121,14 @@ def build_db(
     seed: int = 0,
     tracer: Optional[Tracer] = None,
 ) -> DB:
-    """Construct a fresh DB for one measured run."""
+    """Construct a fresh DB for one measured run.
+
+    ``policy_factory`` may be a zero-arg factory, a registered policy
+    name, or a :class:`~repro.lsm.compaction.spec.PolicySpec`.
+    """
     return DB(
         config=config if config is not None else LSMConfig(),
-        policy=policy_factory(),
+        policy=resolve_factory(policy_factory)(),
         profile=profile,
         seed=seed,
         tracer=tracer,

@@ -29,9 +29,17 @@ from .version import VersionSet
 from .wal import WriteAheadLog
 from .compaction import (
     CompactionPolicy,
+    ComposedPolicy,
     DelayedCompaction,
     LeveledCompaction,
+    PolicySpec,
+    SpecFactory,
     TieredCompaction,
+    available_policies,
+    get_spec,
+    make_policy,
+    register_policy,
+    resolve_factory,
 )
 
 __all__ = [
@@ -67,6 +75,14 @@ __all__ = [
     "ranges_overlap",
     "clamp_range",
     "CompactionPolicy",
+    "ComposedPolicy",
+    "PolicySpec",
+    "SpecFactory",
+    "available_policies",
+    "get_spec",
+    "make_policy",
+    "register_policy",
+    "resolve_factory",
     "LeveledCompaction",
     "TieredCompaction",
     "DelayedCompaction",

@@ -1,17 +1,60 @@
 """Compaction policies for the LSM engine.
 
-The paper's LDC policy itself lives in :mod:`repro.core.ldc`; this package
-holds the policy interface and the baselines (UDC leveled compaction and
-the size-tiered lazy scheme).
+Policies are compositions of four orthogonal primitives — trigger,
+candidate selector, data movement, level layout
+(:mod:`~repro.lsm.compaction.primitives`) — described by a declarative
+:class:`~repro.lsm.compaction.spec.PolicySpec` and executed by
+:class:`~repro.lsm.compaction.composed.ComposedPolicy`.  The central
+registry in :mod:`~repro.lsm.compaction.spec` names the standard
+catalogue (``udc``, ``ldc``, ``tiered``, ``delayed``, ``lazy_leveling``,
+``partial_leveled``, ``hybrid``); the LDC primitives themselves live in
+:mod:`repro.core.primitives`.  The legacy monolithic classes remain as
+deprecated byte-identical shims.
 """
 
 from .base import CompactionPolicy, MAX_ROUNDS_PER_PASS
+from .composed import ComposedPolicy
+from .primitives import (
+    CandidateSelector,
+    DataMovement,
+    Layout,
+    Trigger,
+    TriggerDecision,
+    known_primitives,
+    register_primitive,
+)
+from .spec import (
+    DEFAULT_POLICY,
+    PolicySpec,
+    SpecFactory,
+    available_policies,
+    get_spec,
+    make_policy,
+    register_policy,
+    resolve_factory,
+)
 from .delayed import DelayedCompaction
 from .leveled import LeveledCompaction
 from .tiered import TieredCompaction
 
 __all__ = [
     "CompactionPolicy",
+    "ComposedPolicy",
+    "PolicySpec",
+    "SpecFactory",
+    "DEFAULT_POLICY",
+    "available_policies",
+    "get_spec",
+    "make_policy",
+    "register_policy",
+    "resolve_factory",
+    "Trigger",
+    "TriggerDecision",
+    "CandidateSelector",
+    "DataMovement",
+    "Layout",
+    "register_primitive",
+    "known_primitives",
     "LeveledCompaction",
     "DelayedCompaction",
     "TieredCompaction",

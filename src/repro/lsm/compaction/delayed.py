@@ -19,78 +19,29 @@ all their lower-level overlaps.  Relative to UDC this
   latency cost),
 
 which is exactly the trade-off the paper attributes to lazy schemes.
+
+.. deprecated::
+    The implementation now lives in the design-space primitives:
+    delayed is the registered composition ``delayed`` = delayed trigger
+    × whole-level selector × merge-down movement × leveled layout.
+    This class remains as a byte-identical shim; build new code from
+    the registry (``DB(policy="delayed")``) or derive a spec with a
+    custom factor: ``get_spec("delayed").derive(delay_factor=4.0)``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from .base import CompactionPolicy
-from ..keys import key_successor
-from ...errors import ConfigError
+from .composed import ComposedPolicy, warn_legacy_class
+from .spec import get_spec
 
 
-class DelayedCompaction(CompactionPolicy):
+class DelayedCompaction(ComposedPolicy):
     """Leveled compaction with dCompaction-style batched rounds."""
 
-    name = "delayed"
-
     def __init__(self, delay_factor: float = 3.0) -> None:
-        super().__init__()
-        if delay_factor < 1.0:
-            raise ConfigError("delay_factor must be at least 1")
-        self.delay_factor = delay_factor
+        warn_legacy_class("DelayedCompaction", "delayed")
+        super().__init__(get_spec("delayed").derive(delay_factor=delay_factor))
 
-    def _pick_delayed_level(self) -> Optional[int]:
-        """The most overfull level, but only past the delay threshold.
-
-        Level 0 keeps the ordinary trigger — letting L0 grow by the delay
-        factor would collide with the slowdown/stop stalls and measure the
-        stall model rather than the compaction schedule.
-        """
-        version = self._db.version
-        if len(version.files(0)) >= self._db.config.l0_compaction_trigger:
-            return 0
-        best_level: Optional[int] = None
-        best_score = self.delay_factor
-        for level in range(1, version.num_levels - 1):
-            score = version.level_score(level)
-            if score >= best_score:
-                best_score = score
-                best_level = level
-        return best_level
-
-    def compact_one(self) -> bool:
-        level = self._pick_delayed_level()
-        if level is None:
-            return False
-        self._compact_batch(level)
-        return True
-
-    def _compact_batch(self, level: int) -> None:
-        """Merge the whole accumulated level into the next one."""
-        db = self._db
-        version = db.version
-        inputs = list(version.files(level))
-        lo = min(table.min_key for table in inputs)
-        hi = key_successor(max(table.max_key for table in inputs))
-        overlaps = version.overlapping(level + 1, lo, hi)
-        if not overlaps and len(inputs) == 1:
-            version.remove_file(level, inputs[0])
-            version.add_file(level + 1, inputs[0])
-            db.engine_stats.trivial_moves += 1
-            self.bump("trivial_moves")
-            return
-        drop = self.can_drop_tombstones(level + 1)
-        outputs = self.merge_tables([*inputs, *overlaps], drop_deletes=drop)
-        for table in inputs:
-            version.remove_file(level, table)
-            db.note_file_dropped(table)
-        for table in overlaps:
-            version.remove_file(level + 1, table)
-            db.note_file_dropped(table)
-        for table in outputs:
-            version.add_file(level + 1, table)
-        db.engine_stats.compaction_count += 1
-        self.bump("batched_rounds")
-        self.bump("batched_input_files", len(inputs) + len(overlaps))
+    @property
+    def delay_factor(self) -> float:
+        return self.trigger.delay_factor

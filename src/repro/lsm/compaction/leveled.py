@@ -6,132 +6,25 @@ and merged with *every* overlapping SSTable in level ``i+1``.  Because
 level ``i+1`` is ``fan_out`` times larger, each round drags in O(fan_out)
 lower-level files — the write amplification of Theorem 2.1 and the large
 compaction granularity behind the tail latency of equation (3).
+
+.. deprecated::
+    The implementation now lives in the design-space primitives
+    (:mod:`repro.lsm.compaction.primitives`): UDC is the registered
+    composition ``udc`` = fanout trigger × file selector × merge-down
+    movement × leveled layout.  This class remains as a byte-identical
+    shim; build new code from the registry (``DB(policy="udc")`` or
+    ``get_spec("udc").build()``).
 """
 
 from __future__ import annotations
 
-from typing import List
-
-from .base import CompactionPolicy
-from ..keys import key_successor
-from ..sstable import SSTable
-from ...obs.events import EV_TRIVIAL_MOVE
+from .composed import ComposedPolicy, warn_legacy_class
+from .spec import get_spec
 
 
-class LeveledCompaction(CompactionPolicy):
+class LeveledCompaction(ComposedPolicy):
     """LevelDB-style leveled compaction (the paper's UDC baseline)."""
 
-    name = "udc"
-
     def __init__(self) -> None:
-        super().__init__()
-        # Files whose unproductive-probe budget ran out, awaiting a
-        # seek-triggered compaction (only populated when the config
-        # enables seek compaction).
-        self._seek_candidates: List[SSTable] = []
-
-    def note_seek_exhausted(self, table: SSTable) -> None:
-        if self._db.config.seek_compaction_enabled:
-            self._seek_candidates.append(table)
-
-    def compact_one(self) -> bool:
-        if self._compact_seek_candidate():
-            return True
-        level = self._db.version.pick_compaction_level()
-        if level is None:
-            return False
-        self._compact_once(level)
-        return True
-
-    def _compact_seek_candidate(self) -> bool:
-        """LevelDB's seek compaction: merge an over-probed file down."""
-        version = self._db.version
-        while self._seek_candidates:
-            table = self._seek_candidates.pop()
-            if not version.contains(table):
-                continue  # already compacted away by a size trigger
-            level = version.level_of(table)
-            if level >= version.num_levels - 1:
-                continue  # nothing below to merge into
-            self.bump("seek_compactions")
-            self._compact_once(level, seed=table)
-            return True
-        return False
-
-    # ------------------------------------------------------------------
-    def _compact_once(self, level: int, seed: SSTable | None = None) -> None:
-        db = self._db
-        version = db.version
-        if seed is None:
-            seed = version.pick_file_round_robin(level)
-        inputs = self._expand_level0(level, seed) if level == 0 else [seed]
-        lo = min(table.min_key for table in inputs)
-        hi = key_successor(max(table.max_key for table in inputs))
-        overlaps = version.overlapping(level + 1, lo, hi)
-
-        version.advance_compact_pointer(level, inputs[-1])
-
-        if not overlaps and len(inputs) == 1 and self._safe_to_move(level, seed):
-            # Trivial move: no data to merge with, so just re-parent the
-            # file.  No I/O is performed.
-            version.remove_file(level, seed)
-            version.add_file(level + 1, seed)
-            db.engine_stats.trivial_moves += 1
-            self.bump("trivial_moves")
-            db.tracer.emit(
-                EV_TRIVIAL_MOVE, policy=self.name, file_id=seed.file_id,
-                from_level=level, to_level=level + 1,
-            )
-            return
-
-        drop = self.can_drop_tombstones(level + 1)
-        outputs = self.merge_tables([*inputs, *overlaps], drop_deletes=drop)
-        for table in inputs:
-            version.remove_file(level, table)
-            db.note_file_dropped(table)
-        for table in overlaps:
-            version.remove_file(level + 1, table)
-            db.note_file_dropped(table)
-        for table in outputs:
-            version.add_file(level + 1, table)
-        db.engine_stats.compaction_count += 1
-        self.bump("compactions")
-        self.bump("input_files", len(inputs) + len(overlaps))
-
-    def _expand_level0(self, level: int, seed: SSTable) -> List[SSTable]:
-        """Grow a Level-0 input set to all transitively overlapping files.
-
-        Level-0 files overlap each other, so a compaction must take every
-        file whose range touches the seed's (transitively), or newer
-        versions of a key could be left behind while older ones descend.
-        """
-        version = self._db.version
-        chosen = {seed.file_id: seed}
-        changed = True
-        lo, hi = seed.min_key, key_successor(seed.max_key)
-        while changed:
-            changed = False
-            for table in version.overlapping(level, lo, hi):
-                if table.file_id not in chosen:
-                    chosen[table.file_id] = table
-                    lo = min(lo, table.min_key)
-                    hi = max(hi, key_successor(table.max_key))
-                    changed = True
-        return sorted(chosen.values(), key=lambda table: table.file_id)
-
-    def _safe_to_move(self, level: int, table: SSTable) -> bool:
-        """A trivial move must not let newer data leapfrog older data.
-
-        Within sorted levels files are disjoint, so moving is always safe;
-        in Level 0 a file may only move if no sibling overlaps it (an
-        overlapping older sibling would be left holding stale versions
-        above the moved data — harmless — but an overlapping *newer*
-        sibling left behind would later descend below the moved file's
-        versions, so we simply require exclusivity).
-        """
-        if level != 0:
-            return True
-        siblings = self._db.version.overlapping(
-            level, table.min_key, key_successor(table.max_key)
-        )
-        return len(siblings) == 1
+        warn_legacy_class("LeveledCompaction", "udc")
+        super().__init__(get_spec("udc"))

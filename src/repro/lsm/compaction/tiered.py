@@ -10,75 +10,34 @@ attributes to lazy schemes.  We implement it to *measure* that trade-off
 (ablation benches), since the paper excludes lazy schemes from its latency
 comparison for this reason.
 
-Levels are overlapping under this policy: construct the DB with
-``sorted_levels=False`` (handled automatically by ``DB`` when given a
-:class:`TieredCompaction` policy).
+.. deprecated::
+    The implementation now lives in the design-space primitives: tiered
+    is the registered composition ``tiered`` = tier-count trigger × run
+    selector × tiered-merge movement × tiered layout.  This class
+    remains as a byte-identical shim; build new code from the registry
+    (``DB(policy="tiered")`` or ``get_spec("tiered").build()``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
-from .base import CompactionPolicy
+from .composed import ComposedPolicy, warn_legacy_class
+from .spec import get_spec
 from ..sstable import SSTable
 
 
-class TieredCompaction(CompactionPolicy):
+class TieredCompaction(ComposedPolicy):
     """Size-tiered (universal-style) lazy compaction baseline."""
 
-    name = "tiered"
-
-    #: Levels hold overlapping runs; the DB must not enforce sorted levels.
-    requires_sorted_levels = False
-
     def __init__(self) -> None:
-        super().__init__()
-        # Runs per level.  Level 0: each flushed file is its own run.
-        self._runs: Dict[int, List[List[SSTable]]] = {}
+        warn_legacy_class("TieredCompaction", "tiered")
+        super().__init__(get_spec("tiered"))
 
-    # ------------------------------------------------------------------
-    def compact_one(self) -> bool:
-        level = self._pick_full_level(self._db.config.fan_out)
-        if level is None:
-            return False
-        self._merge_level(level)
-        return True
-
-    def _pick_full_level(self, fan_out: int) -> int | None:
-        version = self._db.version
-        # Level 0 uses the LevelDB trigger so flush pressure behaves the
-        # same across policies; deeper levels trigger on run count.
-        if len(version.files(0)) >= self._db.config.l0_compaction_trigger:
-            return 0
-        for level in range(1, version.num_levels - 1):
-            if len(self._level_runs(level)) >= fan_out:
-                return level
-        return None
+    # Legacy introspection points, forwarded to the layout's bookkeeping.
+    @property
+    def _runs(self):
+        return self.layout._runs
 
     def _level_runs(self, level: int) -> List[List[SSTable]]:
-        if level == 0:
-            return [[table] for table in self._db.version.files(0)]
-        return self._runs.setdefault(level, [])
-
-    # ------------------------------------------------------------------
-    def _merge_level(self, level: int) -> None:
-        """Merge every run of ``level`` into one new run at ``level + 1``."""
-        db = self._db
-        version = db.version
-        runs = self._level_runs(level)
-        inputs = [table for run in runs for table in run]
-        target = level + 1
-        drop = self.can_drop_tombstones(target) and not version.files(target)
-        outputs = self.merge_tables(inputs, drop_deletes=drop)
-        for table in inputs:
-            version.remove_file(level, table)
-            db.note_file_dropped(table)
-        if level != 0:
-            self._runs[level] = []
-        for table in outputs:
-            version.add_file(target, table)
-        if outputs:
-            self._runs.setdefault(target, []).append(list(outputs))
-        db.engine_stats.compaction_count += 1
-        self.bump("level_merges")
-        self.bump("runs_merged", len(runs))
+        return self.layout.level_runs(level)

@@ -72,8 +72,11 @@ class DB:
         Engine geometry and cost parameters (defaults are simulation-scale;
         see :class:`~repro.lsm.config.LSMConfig`).
     policy:
-        Compaction policy instance; defaults to UDC
-        (:class:`~repro.lsm.compaction.leveled.LeveledCompaction`).
+        A registered policy name (``"udc"``, ``"ldc"``, ``"tiered"``,
+        ``"delayed"``, ...), a :class:`~repro.lsm.compaction.spec.
+        PolicySpec`, or a pre-built policy instance; defaults to UDC.
+        Unknown names raise :class:`~repro.errors.UnknownPolicyError`
+        listing the registered policies.
     profile:
         Simulated device parameters; defaults to the enterprise PCIe
         profile mirroring the paper's testbed.
@@ -109,10 +112,10 @@ class DB:
         tracer: Optional[Tracer] = None,
         fault_plan: Optional[FaultPlan] = None,
     ) -> None:
-        from .compaction.leveled import LeveledCompaction  # default policy
+        from .compaction.spec import make_policy  # registry resolution
 
         self.config = config if config is not None else LSMConfig()
-        self.policy = policy if policy is not None else LeveledCompaction()
+        self.policy = make_policy(policy)
         sorted_levels = getattr(self.policy, "requires_sorted_levels", True)
         self.registry = MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()

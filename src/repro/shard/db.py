@@ -38,6 +38,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from .partition import Partitioner, make_partitioner
 from ..errors import ConfigError, ReproError
 from ..faults.plan import FaultPlan
+from ..lsm.compaction.spec import resolve_factory
 from ..lsm.config import LSMConfig
 from ..lsm.db import DB
 from ..obs.aggregate import aggregate_snapshots, combined_view
@@ -45,7 +46,9 @@ from ..obs.snapshot import MetricsSnapshot
 from ..ssd.profile import ENTERPRISE_PCIE, SSDProfile
 
 #: Factory producing a fresh policy instance (one per shard; policies are
-#: stateful and must never be shared between engines).
+#: stateful and must never be shared between engines).  A registered
+#: policy name or a PolicySpec is accepted wherever a factory is (coerced
+#: via :func:`~repro.lsm.compaction.spec.resolve_factory`).
 PolicyFactory = Callable[[], object]
 
 
@@ -125,6 +128,7 @@ class ShardedDB:
         self.partitioner = partitioner
         self.config = config if config is not None else LSMConfig()
         self.profile = profile
+        policy_factory = resolve_factory(policy_factory)
         self.shards: List[DB] = [
             DB(
                 config=self.config,

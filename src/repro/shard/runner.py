@@ -33,6 +33,7 @@ from .partition import Partitioner, make_partitioner
 from ..errors import ConfigError
 from ..harness.latency import LatencyRecorder, LatencyTimeline
 from ..harness.runner import RunResult, execute_operations, _merge_recorders
+from ..lsm.compaction.spec import resolve_factory
 from ..lsm.config import LSMConfig
 from ..lsm.db import DB
 from ..obs.aggregate import aggregate_snapshots, combined_view
@@ -183,6 +184,8 @@ def run_sharded_workload(
 ) -> ShardedRunReport:
     """Run one workload across ``num_shards`` engines, possibly in parallel.
 
+    ``policy_factory`` may be a zero-arg factory, a registered policy
+    name, or a :class:`~repro.lsm.compaction.spec.PolicySpec`.
     ``partitioner`` is a kind name (``"hash"`` / ``"range"``) or a
     pre-built :class:`Partitioner` covering ``num_shards``.  ``workers``
     bounds the process fan-out; 1 executes every shard in-process.  The
@@ -191,6 +194,7 @@ def run_sharded_workload(
     """
     if workers < 1:
         raise ConfigError("workers must be >= 1")
+    policy_factory = resolve_factory(policy_factory)
     if isinstance(partitioner, str):
         partitioner = make_partitioner(
             partitioner, num_shards, key_space=spec.key_space,

@@ -3,7 +3,9 @@
 One seeded random workload — puts, deletes, write batches, point gets,
 scans and snapshots — is replayed against every combination of
 
-* compaction policy: UDC, LDC, tiered, delayed;
+* compaction policy: every registered composition — UDC, LDC, tiered,
+  delayed, plus the recomposed design points (lazy leveling, partial
+  leveled, tiered+leveled hybrid);
 * scheduler: off (``bg_threads=0``) and on (``bg_threads=1``);
 * sharding: single store and a 4-shard fleet;
 
@@ -28,18 +30,22 @@ from repro import (
     LDCPolicy,
     LeveledCompaction,
     ShardedDB,
-    TieredCompaction,
     WriteBatch,
 )
-from repro.lsm.compaction.delayed import DelayedCompaction
 from repro.lsm.config import LSMConfig
 
-POLICIES = {
-    "udc": LeveledCompaction,
-    "ldc": LDCPolicy,
-    "tiered": TieredCompaction,
-    "delayed": DelayedCompaction,
-}
+#: Registered policy names under differential test — the four legacy
+#: compositions plus the new design points (stores are built through the
+#: central registry, so this list is pure data).
+POLICIES = (
+    "udc",
+    "ldc",
+    "tiered",
+    "delayed",
+    "lazy_leveling",
+    "partial_leveled",
+    "hybrid",
+)
 
 #: Tiny geometry: flushes every ~25 writes, compactions soon after.
 def make_config(bg_threads: int) -> LSMConfig:
@@ -92,10 +98,8 @@ def make_workload(seed: int, num_ops: int = NUM_OPS):
 def make_store(policy_name: str, bg_threads: int, shards: int):
     config = make_config(bg_threads)
     if shards == 1:
-        return DB(config=config, policy=POLICIES[policy_name]())
-    return ShardedDB(
-        shards, POLICIES[policy_name], key_space=KEY_SPACE * 2, config=config
-    )
+        return DB(config=config, policy=policy_name)
+    return ShardedDB(shards, policy_name, key_space=KEY_SPACE * 2, config=config)
 
 
 def apply_batch(store, entries) -> None:
@@ -240,7 +244,7 @@ class TestCrashRecovery:
 
     @pytest.mark.parametrize("policy_name", sorted(POLICIES))
     def test_crash_discards_partial_chunks(self, policy_name):
-        db = DB(config=make_config(bg_threads=1), policy=POLICIES[policy_name]())
+        db = DB(config=make_config(bg_threads=1), policy=policy_name)
         model = self.drive_until_inflight(db)
         pending_before = db.sched.pending_chunks()
         assert pending_before > 0

@@ -11,6 +11,7 @@ import pickle
 
 import pytest
 
+from repro import DB
 from repro.harness import experiments
 from repro.harness.experiments import (
     GridTask,
@@ -90,9 +91,15 @@ class TestPicklability:
         factory = ldc_factory(threshold=7, adaptive=False)
         clone = pickle.loads(pickle.dumps(factory))
         assert clone == factory
-        assert clone.threshold == 7
-        assert clone.adaptive is False
-        assert type(clone()).__name__ == "LDCPolicy"
+        params = clone.spec.param_dict()
+        assert params["threshold"] == 7
+        assert params["adaptive"] is False
+        policy = clone()
+        assert policy.name == "ldc"
+        # The threshold override resolves against config at attach time
+        # (adaptive=False pins it to the fixed value).
+        db = DB(policy=policy)
+        assert db.policy.threshold == 7
 
     def test_metrics_snapshot_roundtrip(self) -> None:
         snap = MetricsSnapshot(

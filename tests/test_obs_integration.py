@@ -104,7 +104,9 @@ class TestTraceCLI:
 
     def test_trace_rejects_unknown_policy(self, capsys) -> None:
         assert cli_main(["trace", "WO", "--policy", "bogus"]) == 2
-        assert "unknown policy" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown compaction policy" in err
+        assert "known policies" in err
 
     def test_trace_requires_workload(self, capsys) -> None:
         assert cli_main(["trace"]) == 2

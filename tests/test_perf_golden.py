@@ -137,7 +137,7 @@ GOLDEN_SCHED_END_TO_END = {
     },
 }
 
-_POLICIES = {"UDC": experiments.udc_factory, "LDC": experiments.LDCPolicy}
+_POLICIES = {"UDC": experiments.udc_factory, "LDC": experiments.ldc_factory()}
 
 
 def _golden_keyset():

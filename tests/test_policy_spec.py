@@ -1,0 +1,279 @@
+"""PolicySpec API: registry, round-trips, coercion, validation, compat.
+
+The PR 6 contract: one central registry behind every policy-name surface
+(DB construction, CLI, grids, crashtest, ShardedDB), specs that
+round-trip through dict/pickle, typed errors listing the valid names,
+and deprecation warnings — not breakage — for the legacy classes.
+"""
+
+import pickle
+
+import pytest
+
+from repro import (
+    DB,
+    ComposedPolicy,
+    LDCPolicy,
+    LeveledCompaction,
+    PolicySpec,
+    ShardedDB,
+    SpecFactory,
+    TieredCompaction,
+    UnknownPolicyError,
+    available_policies,
+    get_spec,
+    make_policy,
+    register_policy,
+    resolve_factory,
+)
+from repro.errors import ConfigError
+from repro.lsm.compaction.delayed import DelayedCompaction
+from repro.lsm.compaction.spec import _REGISTRY
+from repro.lsm.config import LSMConfig
+
+EXPECTED_POLICIES = (
+    "delayed",
+    "hybrid",
+    "lazy_leveling",
+    "ldc",
+    "partial_leveled",
+    "tiered",
+    "udc",
+)
+
+TINY = LSMConfig(
+    memtable_bytes=2048,
+    sstable_target_bytes=2048,
+    block_bytes=512,
+    fan_out=4,
+    level1_capacity_bytes=4096,
+    max_levels=6,
+)
+
+
+class TestRegistry:
+    def test_standard_catalogue(self):
+        assert available_policies() == EXPECTED_POLICIES
+
+    def test_get_spec_returns_registered_spec(self):
+        spec = get_spec("ldc")
+        assert spec.name == "ldc"
+        assert spec.selector == "ldc_unit"
+        assert spec.movement == "ldc_link_merge"
+
+    def test_unknown_name_raises_typed_error_listing_names(self):
+        with pytest.raises(UnknownPolicyError) as excinfo:
+            get_spec("nope")
+        assert excinfo.value.name == "nope"
+        assert excinfo.value.known == EXPECTED_POLICIES
+        for name in EXPECTED_POLICIES:
+            assert name in str(excinfo.value)
+
+    def test_unknown_policy_error_is_config_error(self):
+        assert issubclass(UnknownPolicyError, ConfigError)
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_policy(get_spec("udc"))
+
+    def test_register_custom_policy_reaches_db(self):
+        spec = get_spec("delayed").derive(name="custom_delayed", delay_factor=5.0)
+        register_policy(spec)
+        try:
+            db = DB(config=TINY, policy="custom_delayed")
+            assert db.policy.name == "custom_delayed"
+            assert db.policy.trigger.delay_factor == 5.0
+        finally:
+            _REGISTRY.pop("custom_delayed")
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("name", EXPECTED_POLICIES)
+    def test_dict_round_trip(self, name):
+        spec = get_spec(name)
+        assert PolicySpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("name", EXPECTED_POLICIES)
+    def test_pickle_round_trip(self, name):
+        spec = get_spec(name)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="unknown PolicySpec keys"):
+            PolicySpec.from_dict({"name": "x", "bogus": 1})
+
+    def test_from_dict_requires_name(self):
+        with pytest.raises(ConfigError, match="requires a 'name'"):
+            PolicySpec.from_dict({"trigger": "fanout"})
+
+    def test_params_normalize_to_sorted_tuple(self):
+        a = PolicySpec(name="x", params={"b": 2, "a": 1})
+        b = PolicySpec(name="x", params=(("a", 1), ("b", 2)))
+        assert a == b
+        assert a.params == (("a", 1), ("b", 2))
+
+    def test_spec_factory_pickles_and_builds(self):
+        factory = SpecFactory(get_spec("hybrid"))
+        clone = pickle.loads(pickle.dumps(factory))
+        policy = clone()
+        assert isinstance(policy, ComposedPolicy)
+        assert policy.name == "hybrid"
+        # Each call builds a fresh stateful instance.
+        assert clone() is not policy
+
+
+class TestDerive:
+    def test_derive_updates_params(self):
+        spec = get_spec("ldc").derive(threshold=7)
+        assert spec.name == "ldc"
+        assert spec.param_dict()["threshold"] == 7
+
+    def test_derive_renames(self):
+        spec = get_spec("tiered").derive(name="my_tiered")
+        assert spec.name == "my_tiered"
+        assert spec.movement == "tiered_merge"
+
+    def test_orphan_param_rejected_at_build(self):
+        spec = get_spec("udc").derive(warp_drive=9)
+        with pytest.raises(ConfigError, match="warp_drive"):
+            spec.build()
+
+
+class TestCoercion:
+    def test_make_policy_default(self):
+        assert make_policy().name == "udc"
+
+    def test_make_policy_name(self):
+        assert make_policy("lazy_leveling").name == "lazy_leveling"
+
+    def test_make_policy_spec(self):
+        assert make_policy(get_spec("hybrid")).name == "hybrid"
+
+    def test_make_policy_instance_passthrough(self):
+        policy = get_spec("tiered").build()
+        assert make_policy(policy) is policy
+
+    def test_resolve_factory_variants(self):
+        assert resolve_factory("ldc")().name == "ldc"
+        assert resolve_factory(get_spec("udc"))().name == "udc"
+        assert resolve_factory()().name == "udc"
+        sentinel = lambda: None  # noqa: E731
+        assert resolve_factory(sentinel) is sentinel
+
+    def test_resolve_factory_rejects_non_callables(self):
+        with pytest.raises(ConfigError, match="policy factory"):
+            resolve_factory(42)
+
+    def test_db_accepts_name_spec_and_instance(self):
+        assert DB(config=TINY, policy="partial_leveled").policy.name == (
+            "partial_leveled"
+        )
+        assert DB(config=TINY, policy=get_spec("ldc")).policy.name == "ldc"
+        instance = get_spec("udc").build()
+        assert DB(config=TINY, policy=instance).policy is instance
+
+    def test_db_unknown_name_raises(self):
+        with pytest.raises(UnknownPolicyError):
+            DB(config=TINY, policy="nope")
+
+    def test_sharded_db_accepts_name(self):
+        db = ShardedDB(2, "hybrid", config=TINY)
+        assert [shard.policy.name for shard in db.shards] == ["hybrid", "hybrid"]
+        # Policies are stateful: every shard must get its own instance.
+        assert db.shards[0].policy is not db.shards[1].policy
+
+    def test_sharded_db_unknown_name_raises(self):
+        with pytest.raises(UnknownPolicyError):
+            ShardedDB(2, "nope", config=TINY)
+
+
+class TestComposition:
+    def test_candidate_kind_mismatch_rejected(self):
+        spec = PolicySpec(
+            name="bad", trigger="fanout", selector="runs",
+            movement="merge_down", layout="tiered",
+        )
+        with pytest.raises(ConfigError, match="candidate"):
+            spec.build()
+
+    def test_sorted_layout_mismatch_rejected(self):
+        spec = PolicySpec(
+            name="bad", trigger="fanout", selector="file",
+            movement="merge_down", layout="tiered",
+        )
+        with pytest.raises(ConfigError):
+            spec.build()
+
+    def test_unknown_primitive_rejected(self):
+        spec = PolicySpec(name="bad", trigger="warp")
+        with pytest.raises(ConfigError, match="unknown trigger"):
+            spec.build()
+
+    def test_describe_names_all_axes(self):
+        text = get_spec("lazy_leveling").build().describe()
+        for fragment in ("tier_count", "runs", "tiered_merge", "tiered"):
+            assert fragment in text
+
+
+class TestBackwardCompat:
+    @pytest.mark.parametrize(
+        "legacy_cls, name",
+        [
+            (LeveledCompaction, "udc"),
+            (LDCPolicy, "ldc"),
+            (TieredCompaction, "tiered"),
+            (DelayedCompaction, "delayed"),
+        ],
+    )
+    def test_legacy_classes_warn_but_work(self, legacy_cls, name):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            policy = legacy_cls()
+        assert isinstance(policy, ComposedPolicy)
+        assert policy.name == name
+        db = DB(config=TINY, policy=policy)
+        db.put(b"k", b"v")
+        assert db.get(b"k") == b"v"
+
+    def test_default_db_does_not_warn(self, recwarn):
+        db = DB(config=TINY)
+        assert db.policy.name == "udc"
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestNewCompositionsEndToEnd:
+    def test_crashtest_lazy_leveling(self):
+        from repro.faults import crashtest
+
+        report = crashtest.run_crashtest(
+            "lazy_leveling",
+            policy_name="lazy_leveling",
+            num_ops=300,
+            num_keys=60,
+            stride=60,
+        )
+        assert report.ok, report.summary()
+
+    def test_explore_smoke(self):
+        from repro.harness import experiments
+
+        report = experiments.design_space(
+            policies=["udc", "hybrid"], mixes=("RWB",), ops=400, key_space=150
+        )
+        assert [p.policy for p in report["points"]] == ["udc", "hybrid"]
+        assert report["winners"]
+        rendered = experiments.format_design_report(report)
+        assert "| udc |" in rendered and "| hybrid |" in rendered
+
+    def test_cli_explore_unknown_policy_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["explore", "--policies", "nope", "--ops", "10"]) == 2
+        assert "known policies" in capsys.readouterr().err
+
+    def test_cli_trace_unknown_policy_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "WO", "--policy", "nope", "--ops", "10"]) == 2
+        assert "known policies" in capsys.readouterr().err

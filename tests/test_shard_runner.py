@@ -113,7 +113,7 @@ class TestShardTask:
         )
         clone = pickle.loads(pickle.dumps(task))
         assert clone.shard_index == 1
-        assert clone.factory.threshold == 7
+        assert clone.factory.spec.param_dict()["threshold"] == 7
 
     def test_rejects_bad_worker_count(self) -> None:
         with pytest.raises(ConfigError):
