@@ -554,7 +554,9 @@ def run_bench_compare(paths: List[str], threshold: float) -> int:
     for name in diff["missing"]:
         rows.append((name, "-", "MISSING"))
     for name in diff["added"]:
-        rows.append((name, "-", "added"))
+        # After-only benchmarks never gate; call them out explicitly so a
+        # new benchmark is visible in review rather than silently passing.
+        rows.append((name, "-", "new benchmark"))
     print(
         format_table(
             ["benchmark", "speedup", "status"],
@@ -578,8 +580,14 @@ def run_bench_cli(
     out_dir: str,
     name: str,
     only: Optional[str] = None,
+    profile: bool = False,
 ) -> int:
-    """Run the wall-clock benchmark suite and write ``BENCH_<name>.json``."""
+    """Run the wall-clock benchmark suite and write ``BENCH_<name>.json``.
+
+    ``profile=True`` additionally runs every benchmark under ``cProfile``
+    and drops ``PROFILE_<bench>.pstats`` files next to the report (see
+    docs/PERF.md, "Profiling a benchmark").
+    """
     from .harness import bench
 
     names = None
@@ -587,7 +595,10 @@ def run_bench_cli(
         names = [item.strip() for item in only.split(",") if item.strip()]
     try:
         results = bench.run_bench(
-            names=names, quick=quick, progress=lambda n: print(f"running {n} ...")
+            names=names,
+            quick=quick,
+            progress=lambda n: print(f"running {n} ..."),
+            profile_dir=out_dir if profile else None,
         )
     except KeyError as exc:
         print(str(exc), file=sys.stderr)
@@ -605,6 +616,10 @@ def run_bench_cli(
     report = bench.bench_report(results, name=name, quick=quick)
     path = bench.write_bench_report(report, out_dir=out_dir)
     print(f"report written to {path}")
+    if profile:
+        for result in results:
+            print(f"profile written to {out_dir}/PROFILE_{result.name}.pstats")
+        print("(profiled wall times are inflated; use them for hot spots only)")
     return 0
 
 
@@ -726,6 +741,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAMES",
         help="comma-separated benchmark subset ('bench' only)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each benchmark under cProfile and write "
+        "PROFILE_<bench>.pstats next to the report ('bench' only)",
     )
     parser.add_argument(
         "--workers",
@@ -867,6 +888,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             out_dir=args.bench_out,
             name=args.bench_name,
             only=args.only,
+            profile=args.profile,
         )
     if args.experiment == "run":
         return run_sharded_cli(

@@ -104,6 +104,7 @@ def attach_slice(target: SSTable, piece: Slice) -> None:
             f"active lower-level SSTables"
         )
     target.slice_links.append(piece)
+    target._links_newest = None
     target.linked_bytes += piece.size_bytes
 
 
@@ -111,10 +112,15 @@ def detach_all_slices(target: SSTable) -> List[Slice]:
     """Remove and return every SliceLink of ``target`` (merge consumed them)."""
     detached = target.slice_links
     target.slice_links = []
+    target._links_newest = None
     target.linked_bytes = 0
     return detached
 
 
 def slices_newest_first(target: SSTable) -> List[Slice]:
-    """Slices of ``target`` in read-priority order (latest link first)."""
-    return sorted(target.slice_links, key=lambda piece: piece.link_seq, reverse=True)
+    """Slices of ``target`` in read-priority order (latest link first).
+
+    Returns a fresh list; the cached read-path view stays private to the
+    SSTable (see :meth:`~repro.lsm.sstable.SSTable.links_newest_first`).
+    """
+    return list(target.links_newest_first())

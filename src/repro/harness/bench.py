@@ -369,6 +369,63 @@ def bench_shard_scaling(quick: bool = False) -> BenchResult:
     )
 
 
+# ----------------------------------------------------------------------
+# Tier-2 benchmarks (paper scale; run only when named explicitly)
+# ----------------------------------------------------------------------
+def bench_paper_scale(quick: bool = False) -> BenchResult:
+    """The macro pair at the paper's evaluation scale: 10M operations.
+
+    5M random inserts (WO) followed by 5M point lookups (RO) against a
+    preloaded store — the workload sizes of the paper's §IV runs that
+    ROADMAP targets.  Latency recording is strided (1 in 100, capped) so
+    the run holds histograms, not 10M floats; percentiles then come from
+    the streaming histogram (see ``LatencyRecorder``).
+
+    Tier 2: excluded from the default suite, run via
+    ``repro bench --only paper_scale`` (the workflow_dispatch
+    ``paper-scale`` CI job does exactly that).
+    """
+    ops = 100_000 if quick else 5_000_000
+    keys = max(10_000, ops // 10)
+    stride = 100
+    cap = 100_000
+    fill_spec = _macro_spec("WO", ops, keys)
+    start = time.perf_counter()
+    fill = run_workload(
+        fill_spec,
+        LeveledCompaction,
+        config=LSMConfig(),
+        sample_stride=stride,
+        max_latency_samples=cap,
+    )
+    fill_wall = time.perf_counter() - start
+    read_spec = _macro_spec("RO", ops, keys, preload_keys=keys)
+    mid = time.perf_counter()
+    read = run_workload(
+        read_spec,
+        LeveledCompaction,
+        config=LSMConfig(),
+        sample_stride=stride,
+        max_latency_samples=cap,
+    )
+    read_wall = time.perf_counter() - mid
+    return BenchResult(
+        "paper_scale",
+        2 * ops,
+        fill_wall + read_wall,
+        extra={
+            "fill_wall_s": fill_wall,
+            "read_wall_s": read_wall,
+            "fill_sim_throughput_ops_s": fill.throughput_ops_s,
+            "read_sim_throughput_ops_s": read.throughput_ops_s,
+            "fill_p99_us": fill.latencies.percentile(99.0),
+            "read_p99_us": read.latencies.percentile(99.0),
+            "write_amplification": fill.write_amplification,
+            "latency_sample_stride": float(stride),
+        },
+    )
+
+
 #: The fixed suite, in execution order.
 BENCHMARKS: Dict[str, Callable[[bool], BenchResult]] = {
     "bloom_probe": bench_bloom_probe,
@@ -383,23 +440,51 @@ BENCHMARKS: Dict[str, Callable[[bool], BenchResult]] = {
     "shard_scaling": bench_shard_scaling,
 }
 
+#: Paper-scale runs; named explicitly (``--only``), never in the default
+#: suite — a full run is minutes, not seconds.
+TIER2_BENCHMARKS: Dict[str, Callable[[bool], BenchResult]] = {
+    "paper_scale": bench_paper_scale,
+}
+
 
 def run_bench(
     names: Optional[Sequence[str]] = None,
     quick: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    profile_dir: Optional[str] = None,
 ) -> List[BenchResult]:
-    """Run the requested benchmarks (default: the whole suite), in order."""
+    """Run the requested benchmarks (default: the whole suite), in order.
+
+    With ``profile_dir`` set, each benchmark runs under :mod:`cProfile`
+    and its stats are dumped to ``<profile_dir>/PROFILE_<name>.pstats``
+    (load with ``pstats.Stats`` to sort/inspect).  Profiling inflates
+    wall times several-fold, so profiled numbers are for finding hot
+    spots, never for the before/after tables.
+    """
+    runnable = {**BENCHMARKS, **TIER2_BENCHMARKS}
     selected = list(BENCHMARKS) if names is None else list(names)
-    unknown = [name for name in selected if name not in BENCHMARKS]
+    unknown = [name for name in selected if name not in runnable]
     if unknown:
-        known = ", ".join(BENCHMARKS)
+        known = ", ".join(runnable)
         raise KeyError(f"unknown benchmark(s) {unknown}; known: {known}")
     results = []
     for name in selected:
         if progress is not None:
             progress(name)
-        results.append(BENCHMARKS[name](quick))
+        if profile_dir is not None:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                results.append(runnable[name](quick))
+            finally:
+                profiler.disable()
+            profiler.dump_stats(
+                os.path.join(profile_dir, f"PROFILE_{name}.pstats")
+            )
+        else:
+            results.append(runnable[name](quick))
     return results
 
 

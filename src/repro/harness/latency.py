@@ -32,22 +32,126 @@ class LatencyRecorder:
 
     Exact percentiles come from the stored samples; the parallel
     :attr:`histogram` provides the streaming (bounded-memory) estimates.
+
+    **Sampling mode.**  A 10M-operation run would otherwise hold 10M
+    Python floats per recorder.  ``sample_stride=k`` stores every k-th
+    sample; ``max_samples=n`` caps the stored list.  The histogram, the
+    count, the mean, the minimum and the maximum stay *exact* in every
+    mode (they are streamed, not sampled); only the stored-sample list is
+    thinned.  Once any sample has been dropped, :meth:`percentile`
+    answers from the histogram — within one log-bucket (``growth - 1``,
+    5%) of the exact value — instead of pretending the sampled list is
+    the population.  The default (``stride=1``, no cap) records exactly
+    as before, which the sharded fingerprint tests rely on.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        sample_stride: int = 1,
+        max_samples: Optional[int] = None,
+    ) -> None:
+        if sample_stride < 1:
+            raise ReproError("sample_stride must be >= 1")
+        if max_samples is not None and max_samples < 1:
+            raise ReproError("max_samples must be >= 1 when set")
         self._values: List[float] = []
         self._sorted: Optional[np.ndarray] = None
+        self._stride = sample_stride
+        self._max_samples = max_samples
+        #: True once any sample was not stored (strided out or over cap).
+        self._lossy = sample_stride > 1
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
         #: Streaming log-bucketed view of the same samples.
         self.histogram = LatencyHistogram()
 
     def record(self, latency_us: float) -> None:
         if latency_us < 0:
             raise ReproError(f"negative latency {latency_us!r}")
-        self._values.append(latency_us)
-        self._sorted = None
+        count = self._count
+        self._count = count + 1
+        self._sum += latency_us
+        if latency_us > self._max:
+            self._max = latency_us
+        if latency_us < self._min:
+            self._min = latency_us
         self.histogram.record(latency_us)
+        if count % self._stride == 0:
+            cap = self._max_samples
+            if cap is None or len(self._values) < cap:
+                self._values.append(latency_us)
+                self._sorted = None
+            else:
+                self._lossy = True
+
+    def record_many(self, latencies: Sequence[float]) -> None:
+        """Record a chunk of latencies, in order.
+
+        Equivalent to calling :meth:`record` once per value — same stored
+        samples, same histogram, same running aggregates (the float sum
+        accumulates sequentially in the same order) — with the per-call
+        dispatch amortised for the chunked runner loop.
+        """
+        if not latencies:
+            return
+        stride = self._stride
+        cap = self._max_samples
+        count = self._count
+        total = self._sum
+        vmin = self._min
+        vmax = self._max
+        store = self._values
+        push = store.append
+        stored = len(store)
+        for value in latencies:
+            if value < 0:
+                raise ReproError(f"negative latency {value!r}")
+            if value > vmax:
+                vmax = value
+            if value < vmin:
+                vmin = value
+            total += value
+            if count % stride == 0:
+                if cap is None or stored < cap:
+                    push(value)
+                    stored += 1
+                else:
+                    self._lossy = True
+            count += 1
+        self._count = count
+        self._sum = total
+        self._min = vmin
+        self._max = vmax
+        self._sorted = None
+        self.histogram.record_many(latencies)
+
+    def merge_from(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's state into this one (shard aggregation)."""
+        self._values.extend(other._values)
+        self._sorted = None
+        self._count += other._count
+        self._sum += other._sum
+        if other._max > self._max:
+            self._max = other._max
+        if other._min < self._min:
+            self._min = other._min
+        self._lossy = self._lossy or other._lossy
+        self.histogram.merge(other.histogram)
 
     def __len__(self) -> int:
+        """Total number of latencies recorded (not just those stored)."""
+        return self._count
+
+    @property
+    def is_sampled(self) -> bool:
+        """True when the stored-sample list no longer holds every sample."""
+        return self._lossy
+
+    @property
+    def sample_count(self) -> int:
+        """Number of samples actually stored (== ``len`` unless sampled)."""
         return len(self._values)
 
     def _ensure_sorted(self) -> np.ndarray:
@@ -56,12 +160,19 @@ class LatencyRecorder:
         return self._sorted
 
     def percentile(self, pct: float) -> float:
-        """Exact percentile (0 < pct <= 100) of the recorded latencies."""
+        """Percentile (0 < pct <= 100) of the recorded latencies.
+
+        Exact (from the stored samples) until sampling drops any sample;
+        after that, answered by the streaming histogram, which is within
+        one log-bucket of exact.
+        """
         if not 0 < pct <= 100:
             raise ReproError("percentile must lie in (0, 100]")
-        data = self._ensure_sorted()
-        if data.size == 0:
+        if self._count == 0:
             raise ReproError("no latencies recorded")
+        if self._lossy:
+            return self.histogram.percentile(pct)
+        data = self._ensure_sorted()
         index = min(data.size - 1, int(np.ceil(pct / 100.0 * data.size)) - 1)
         return float(data[max(0, index)])
 
@@ -77,22 +188,27 @@ class LatencyRecorder:
         return self.histogram.percentiles(pcts)
 
     def mean(self) -> float:
-        if not self._values:
+        if self._count == 0:
             raise ReproError("no latencies recorded")
-        return float(np.mean(self._values))
+        if not self._lossy:
+            # Exact mode keeps the historical numpy pairwise-sum mean so
+            # previously reported numbers reproduce bit for bit.
+            return float(np.mean(self._values))
+        return self._sum / self._count
 
     def maximum(self) -> float:
-        if not self._values:
+        if self._count == 0:
             raise ReproError("no latencies recorded")
-        return float(self._ensure_sorted()[-1])
+        return self._max
 
     def minimum(self) -> float:
-        if not self._values:
+        if self._count == 0:
             raise ReproError("no latencies recorded")
-        return float(self._ensure_sorted()[0])
+        return self._min
 
     @property
     def values(self) -> Sequence[float]:
+        """The stored samples (every sample unless sampling is enabled)."""
         return self._values
 
 

@@ -15,7 +15,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from itertools import islice
+from typing import Callable, Dict, List, Optional
 
 from .latency import LatencyRecorder, LatencyTimeline
 from ..errors import WorkloadError
@@ -135,6 +136,13 @@ def build_db(
     )
 
 
+#: Operations dispatched per chunk by the chunked runner loop.  Chunking
+#: amortises the per-operation recorder calls (bulk ``record_many`` per
+#: chunk) without changing any recorded value — the differential tests
+#: pin chunked == per-op exactly.
+DEFAULT_CHUNK_SIZE = 1024
+
+
 def run_workload(
     spec: WorkloadSpec,
     policy_factory: PolicyFactory,
@@ -143,6 +151,9 @@ def run_workload(
     timeline_bucket_us: float = 1_000_000.0,
     db: Optional[DB] = None,
     tracer: Optional[Tracer] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    sample_stride: int = 1,
+    max_latency_samples: Optional[int] = None,
 ) -> RunResult:
     """Run one workload against one policy and measure it.
 
@@ -150,7 +161,9 @@ def run_workload(
     a fresh one is created and loaded per the spec.  Pass ``tracer`` (with
     sinks attached) to record the run's full event timeline; the load
     phase is traced too, separated from the measured phase by the
-    measurement reset.
+    measurement reset.  ``sample_stride`` / ``max_latency_samples``
+    configure sampled latency recording for paper-scale runs (see
+    :class:`~repro.harness.latency.LatencyRecorder`).
     """
     generator = WorkloadGenerator(spec)
     if db is None:
@@ -164,6 +177,9 @@ def run_workload(
         generator.operations(),
         workload_name=spec.name,
         timeline_bucket_us=timeline_bucket_us,
+        chunk_size=chunk_size,
+        sample_stride=sample_stride,
+        max_latency_samples=max_latency_samples,
     )
 
 
@@ -172,6 +188,9 @@ def execute_operations(
     operations,
     workload_name: str,
     timeline_bucket_us: float = 1_000_000.0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    sample_stride: int = 1,
+    max_latency_samples: Optional[int] = None,
 ) -> RunResult:
     """Execute an explicit operation stream against a prepared DB.
 
@@ -179,47 +198,31 @@ def execute_operations(
     runner (:mod:`repro.shard.runner`) can drive a shard with a
     pre-partitioned slice of the trace through the *identical* loop —
     keeping single-store and sharded measurements comparable.
+
+    ``chunk_size > 1`` (the default) drives the chunked dispatch loop:
+    operations execute one at a time as before (per-op virtual-time
+    effects are untouched), but latencies are buffered and bulk-loaded
+    into the recorders once per chunk.  ``chunk_size <= 1`` selects the
+    straight per-op loop; both produce bit-identical results and the
+    differential suite keeps them honest.
     """
     recorders = {
-        OP_PUT: LatencyRecorder(),
-        OP_DELETE: LatencyRecorder(),
-        OP_GET: LatencyRecorder(),
-        OP_SCAN: LatencyRecorder(),
-        OP_RMW: LatencyRecorder(),
+        OP_PUT: LatencyRecorder(sample_stride, max_latency_samples),
+        OP_DELETE: LatencyRecorder(sample_stride, max_latency_samples),
+        OP_GET: LatencyRecorder(sample_stride, max_latency_samples),
+        OP_SCAN: LatencyRecorder(sample_stride, max_latency_samples),
+        OP_RMW: LatencyRecorder(sample_stride, max_latency_samples),
     }
-    overall = LatencyRecorder()
+    overall = LatencyRecorder(sample_stride, max_latency_samples)
     timeline = LatencyTimeline(bucket_us=timeline_bucket_us)
     clock = db.clock
     start_time = clock.now()
-    count = 0
-    # Stall attribution: throttle time (both modes) plus device-channel
-    # waits behind background chunks (scheduler only).  Counter reads
-    # do not touch the clock, so the scheduler-off timing is unchanged.
-    counter = db.registry.counter
-    stall_total = counter("engine.stall_time_us") + counter("sched.device_wait_us")
-
-    for operation in operations:
-        begin = clock.now()
-        if operation.kind == OP_PUT:
-            db.put(operation.key, operation.value)
-        elif operation.kind == OP_GET:
-            db.get(operation.key)
-        elif operation.kind == OP_SCAN:
-            db.scan(operation.key, operation.scan_length)
-        elif operation.kind == OP_DELETE:
-            db.delete(operation.key)
-        elif operation.kind == OP_RMW:
-            current = db.get(operation.key)
-            db.put(operation.key, operation.value or current or b"")
-        else:
-            raise WorkloadError(f"unknown operation kind {operation.kind!r}")
-        latency = clock.now() - begin
-        stalled = counter("engine.stall_time_us") + counter("sched.device_wait_us")
-        recorders[operation.kind].record(latency)
-        overall.record(latency)
-        timeline.record(begin, latency, stall_us=stalled - stall_total)
-        stall_total = stalled
-        count += 1
+    if chunk_size > 1:
+        count = _run_chunked(
+            db, operations, recorders, overall, timeline, chunk_size
+        )
+    else:
+        count = _run_per_op(db, operations, recorders, overall, timeline)
 
     elapsed = clock.now() - start_time
     device_stats = db.device.stats
@@ -262,9 +265,122 @@ def execute_operations(
     )
 
 
+def _run_per_op(
+    db: DB,
+    operations,
+    recorders: Dict[str, LatencyRecorder],
+    overall: LatencyRecorder,
+    timeline: LatencyTimeline,
+) -> int:
+    """The reference measurement loop: one dispatch per operation."""
+    clock = db.clock
+    count = 0
+    # Stall attribution: throttle time (both modes) plus device-channel
+    # waits behind background chunks (scheduler only).  Counter reads
+    # do not touch the clock, so the scheduler-off timing is unchanged.
+    counter = db.registry.counter
+    stall_total = counter("engine.stall_time_us") + counter("sched.device_wait_us")
+
+    for operation in operations:
+        begin = clock.now()
+        if operation.kind == OP_PUT:
+            db.put(operation.key, operation.value)
+        elif operation.kind == OP_GET:
+            db.get(operation.key)
+        elif operation.kind == OP_SCAN:
+            db.scan(operation.key, operation.scan_length)
+        elif operation.kind == OP_DELETE:
+            db.delete(operation.key)
+        elif operation.kind == OP_RMW:
+            current = db.get(operation.key)
+            db.put(operation.key, operation.value or current or b"")
+        else:
+            raise WorkloadError(f"unknown operation kind {operation.kind!r}")
+        latency = clock.now() - begin
+        stalled = counter("engine.stall_time_us") + counter("sched.device_wait_us")
+        recorders[operation.kind].record(latency)
+        overall.record(latency)
+        timeline.record(begin, latency, stall_us=stalled - stall_total)
+        stall_total = stalled
+        count += 1
+    return count
+
+
+def _run_chunked(
+    db: DB,
+    operations,
+    recorders: Dict[str, LatencyRecorder],
+    overall: LatencyRecorder,
+    timeline: LatencyTimeline,
+    chunk_size: int,
+) -> int:
+    """Chunked measurement loop: identical effects, amortised bookkeeping.
+
+    Operations still execute strictly one at a time against the DB (the
+    virtual clock, stall attribution and maintenance interleaving are
+    per-op by contract), but per-op recorder calls are replaced by one
+    ``record_many`` per recorder per chunk.  Within a chunk each
+    recorder receives its latencies in the same order the per-op loop
+    would have appended them, so the recorded state is bit-identical.
+    """
+    clock = db.clock
+    now = clock.now
+    db_put = db.put
+    db_get = db.get
+    db_scan = db.scan
+    db_delete = db.delete
+    counter = db.registry.counter
+    timeline_record = timeline.record
+    stall_total = counter("engine.stall_time_us") + counter("sched.device_wait_us")
+    count = 0
+    stream = iter(operations)
+    while True:
+        chunk = list(islice(stream, chunk_size))
+        if not chunk:
+            break
+        per_kind: Dict[str, List[float]] = {}
+        overall_latencies: List[float] = []
+        push_overall = overall_latencies.append
+        events: List[tuple] = []
+        push_event = events.append
+        for operation in chunk:
+            kind = operation[0]
+            begin = now()
+            if kind == OP_PUT:
+                db_put(operation[1], operation[2])
+            elif kind == OP_GET:
+                db_get(operation[1])
+            elif kind == OP_SCAN:
+                db_scan(operation[1], operation[3])
+            elif kind == OP_DELETE:
+                db_delete(operation[1])
+            elif kind == OP_RMW:
+                current = db_get(operation[1])
+                db_put(operation[1], operation[2] or current or b"")
+            else:
+                raise WorkloadError(f"unknown operation kind {kind!r}")
+            latency = now() - begin
+            stalled = counter("engine.stall_time_us") + counter(
+                "sched.device_wait_us"
+            )
+            bucket = per_kind.get(kind)
+            if bucket is None:
+                bucket = per_kind[kind] = []
+            bucket.append(latency)
+            push_overall(latency)
+            push_event((begin, latency, stalled - stall_total))
+            stall_total = stalled
+        for kind, latencies in per_kind.items():
+            recorders[kind].record_many(latencies)
+        overall.record_many(overall_latencies)
+        for begin, latency, stall in events:
+            timeline_record(begin, latency, stall_us=stall)
+        count += len(chunk)
+    return count
+
+
 def _merge_recorders(*recorders: LatencyRecorder) -> LatencyRecorder:
     merged = LatencyRecorder()
     for recorder in recorders:
-        merged._values.extend(recorder.values)
-        merged.histogram.merge(recorder.histogram)
+        merged.merge_from(recorder)
     return merged

@@ -38,6 +38,14 @@ _adler32 = zlib.adler32
 #: Below this many keys the scalar build path wins over numpy call overhead.
 _VECTOR_BUILD_MIN = 8
 
+#: Shared memo of per-key ``(h1, h2)`` base-hash pairs.  The same user keys
+#: recur across thousands of SSTable constructions during compaction (the
+#: hash pair is a pure function of the key bytes), so build paths consult
+#: this before recomputing.  Capped so unbounded key universes cannot grow
+#: it without limit; on overflow new keys are simply not memoised.
+_HASH_CACHE: dict = {}
+_HASH_CACHE_MAX = 1 << 20
+
 
 def _base_hashes(key: bytes) -> tuple[int, int]:
     """The ``(h1, h2)`` double-hash bases for ``key``.
@@ -92,26 +100,39 @@ class BloomFilter:
 
         ``h1 < 2**32`` and ``h2 < 2**34``, so ``h1 + i*h2`` stays below
         2**40 for every probe index ``i <= 30`` — int64 arithmetic is exact
-        and matches the scalar ``_add`` loop bit for bit.
+        and matches the scalar ``_add`` loop bit for bit.  The final OR is
+        a boolean scatter + ``packbits`` (little bit order matches the
+        scalar ``bits[pos >> 3] |= 1 << (pos & 7)`` layout exactly).
         """
+        cache = _HASH_CACHE
         crc32 = zlib.crc32
         adler32 = zlib.adler32
-        h1 = np.fromiter(
-            (crc32(key) for key in keys), dtype=np.int64, count=len(keys)
-        )
-        h2 = np.fromiter(
-            ((adler32(key) << 1) | 1 for key in keys),
-            dtype=np.int64,
-            count=len(keys),
-        )
+        h1_list: list = []
+        h2_list: list = []
+        push1 = h1_list.append
+        push2 = h2_list.append
+        if len(cache) < _HASH_CACHE_MAX:
+            for key in keys:
+                pair = cache.get(key)
+                if pair is None:
+                    pair = (crc32(key), (adler32(key) << 1) | 1)
+                    cache[key] = pair
+                push1(pair[0])
+                push2(pair[1])
+        else:
+            for key in keys:
+                pair = cache.get(key)
+                if pair is None:
+                    pair = (crc32(key), (adler32(key) << 1) | 1)
+                push1(pair[0])
+                push2(pair[1])
+        h1 = np.array(h1_list, dtype=np.int64)
+        h2 = np.array(h2_list, dtype=np.int64)
         steps = np.arange(self._nhashes, dtype=np.int64)
         positions = (h1[:, None] + h2[:, None] * steps[None, :]) % nbits
-        positions = positions.ravel()
-        bits = np.zeros((nbits + 7) // 8, dtype=np.uint8)
-        np.bitwise_or.at(
-            bits, positions >> 3, np.left_shift(1, positions & 7).astype(np.uint8)
-        )
-        return bytearray(bits.tobytes())
+        flags = np.zeros(((nbits + 7) // 8) * 8, dtype=bool)
+        flags[positions.ravel()] = True
+        return bytearray(np.packbits(flags, bitorder="little").tobytes())
 
     def _add(self, key: bytes) -> None:
         h1, h2 = _base_hashes(key)
@@ -127,9 +148,14 @@ class BloomFilter:
         nbits = self._nbits
         if nbits == 0:
             return not self._empty
-        # _base_hashes inlined: this is the hottest call in the read path.
-        h1 = _crc32(key)
-        h2 = (_adler32(key) << 1) | 1
+        # Hottest call in the read path: reuse the shared hash memo (hot
+        # keys recur across probes) before falling back to the checksums.
+        pair = _HASH_CACHE.get(key)
+        if pair is None:
+            pair = (_crc32(key), (_adler32(key) << 1) | 1)
+            if len(_HASH_CACHE) < _HASH_CACHE_MAX:
+                _HASH_CACHE[key] = pair
+        h1, h2 = pair
         bits = self._bits
         for _ in range(self._nhashes):
             bit = h1 % nbits

@@ -39,7 +39,7 @@ from typing import (
 
 from ..keys import key_successor
 from ..sstable import SSTable
-from ...errors import CompactionError, ConfigError
+from ...errors import ConfigError
 from ...obs.events import EV_TRIVIAL_MOVE
 
 # ----------------------------------------------------------------------
@@ -120,18 +120,16 @@ class Primitive:
 
     def __init__(self) -> None:
         self.policy = None
+        #: The owning DB, bound at :meth:`attach`.  A plain attribute, not
+        #: a property: primitives consult it on every maintenance pass
+        #: (once per user operation), so the resolution through
+        #: ``policy._db`` is paid once at attach time.
+        self.db = None
 
     def attach(self, policy) -> None:
         """Bind to the owning :class:`ComposedPolicy` (after DB attach)."""
         self.policy = policy
-
-    @property
-    def db(self):
-        if self.policy is None:
-            raise CompactionError(
-                f"{self.kind} {self.primitive_name!r} is not attached"
-            )
-        return self.policy._db
+        self.db = policy._db
 
     def describe(self) -> str:
         return f"{self.kind}:{self.primitive_name}"

@@ -23,7 +23,7 @@ files' Bloom filters) before the file (§III-B.3).
 from __future__ import annotations
 
 import warnings
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .builder import SSTableBuilder
 from .cache import BlockCache
@@ -31,7 +31,13 @@ from .config import LSMConfig
 from .iterators import merge_records
 from .keys import clamp_range, key_successor
 from .memtable import MemTable
-from .record import KIND_DELETE, KVRecord, delete_record, put_record
+from .record import (
+    KIND_DELETE,
+    KVRecord,
+    RECORD_OVERHEAD_BYTES,
+    delete_record,
+    put_record,
+)
 from .sstable import SSTable
 from .stats import (
     ACT_COMPACTION,
@@ -245,34 +251,55 @@ class DB:
         the WAL as one sequential write (amortising the per-request
         overhead), then applied to the memtable in order.  A flush can
         trigger mid-batch exactly as it can mid-stream.
+
+        This is the batched-write fast path: stall check, WAL append and
+        policy notification happen once per batch, the memtable loop runs
+        with hoisted locals, and the integer engine counters are added in
+        one registry call per batch (integer sums are exact, so the
+        resulting metrics are bit-identical to per-record accounting; the
+        per-record clock advances are kept because repeated float
+        additions are *not* associative).
         """
         self._check_open()
         records = []
+        push = records.append
+        next_sequence = self._next_sequence
         for key, value in batch.entries:
             _check_key(key)
             if value is None:
-                records.append(delete_record(key, self._next_sequence()))
+                push(delete_record(key, next_sequence()))
             else:
                 if not isinstance(value, bytes):
                     raise TypeError("values must be bytes")
-                records.append(put_record(key, value, self._next_sequence()))
+                push(put_record(key, value, next_sequence()))
         if not records:
             return
         self.policy.on_operation(True)
         self._maybe_stall()
+        sizes = [
+            len(record[0]) + len(record[3]) + RECORD_OVERHEAD_BYTES
+            for record in records
+        ]
+        total = sum(sizes)
         if self._wal is not None:
-            total = sum(record.encoded_size for record in records)
             elapsed = self._wal.append_batch(records, total)
             self.engine_stats.charge_activity(ACT_WAL, elapsed)
         start = self.clock.now()
+        memtable_add = self._memtable.add
+        advance = self.clock.advance
+        insert_us = self.config.costs.memtable_insert_us
+        deletes = 0
         for record in records:
-            self._memtable.add(record)
-            self.clock.advance(self.config.costs.memtable_insert_us)
-            if record.is_tombstone:
-                self.engine_stats.deletes += 1
-            else:
-                self.engine_stats.puts += 1
-            self.engine_stats.user_bytes_written += record.encoded_size
+            memtable_add(record)
+            advance(insert_us)
+            if record[2] == KIND_DELETE:
+                deletes += 1
+        count = self._count
+        if deletes:
+            count("engine.deletes", deletes)
+        if deletes != len(records):
+            count("engine.puts", len(records) - deletes)
+        count("engine.user_bytes_written", total)
         self.engine_stats.charge_activity(ACT_WRITE, self.clock.now() - start)
         if self._memtable.approximate_bytes >= self.config.memtable_bytes:
             self.flush()
@@ -382,7 +409,7 @@ class DB:
             return
         start = self.clock.now()
         builder = SSTableBuilder(self.config, self.next_file_id)
-        builder.add_all(iter(self._memtable))
+        builder.add_sorted_run(self._memtable.sorted_records())
         outputs = builder.finish()
         flushed_bytes = 0
         for table in outputs:
@@ -435,8 +462,13 @@ class DB:
     # ------------------------------------------------------------------
     def get(self, key: bytes) -> Optional[bytes]:
         """Point lookup: newest visible value for ``key`` (None if absent)."""
-        self._check_open()
-        _check_key(key)
+        # Validation inlined for the common case (open DB, plain non-empty
+        # bytes key); the slow path re-runs the full checks to raise the
+        # same typed errors.
+        if self._closed:
+            self._check_open()
+        if type(key) is not bytes or not key:
+            _check_key(key)
         self.policy.on_operation(False)
         start = self.clock.now()
         self._count("engine.gets")
@@ -448,76 +480,135 @@ class DB:
         self._count("engine.get_hits")
         return record.value
 
+    def multi_get(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Point-lookup many keys; returns values aligned with ``keys``.
+
+        The batched-read fast path: per-key simulated effects (policy
+        notification, clock charges, maintenance step) are identical to
+        calling :meth:`get` once per key — only the Python dispatch
+        overhead is amortised, so metrics and virtual time stay
+        bit-identical to the per-op loop.
+        """
+        self._check_open()
+        on_operation = self.policy.on_operation
+        now = self.clock.now
+        count = self._count
+        lookup = self._lookup
+        charge = self.engine_stats.charge_activity
+        maintenance = self._maintenance_step
+        results: List[Optional[bytes]] = []
+        push = results.append
+        for key in keys:
+            _check_key(key)
+            on_operation(False)
+            start = now()
+            count("engine.gets")
+            record = lookup(key)
+            charge(ACT_READ, now() - start)
+            maintenance()
+            if record is None or record[2] == KIND_DELETE:
+                push(None)
+            else:
+                count("engine.get_hits")
+                push(record[3])
+        return results
+
     def _lookup(self, key: bytes) -> Optional[KVRecord]:
         costs = self.config.costs
-        self.clock.advance(costs.memtable_lookup_us)
+        advance = self.clock.advance
+        advance(costs.memtable_lookup_us)
         record = self._memtable.get(key)
         if record is not None:
             return record
+        version = self.version
+        lookup_unit = self._lookup_unit
+        bloom_us = costs.bloom_check_us
+        count = self._count
         # Level 0: overlapping files, newest first.  Files are installed
         # by append with monotonically increasing ids, so reversed() gives
         # newest-first without a per-lookup sort.
-        for table in reversed(self.version.files(0)):
-            if not table.covers_key(key):
+        for table in reversed(version.files(0)):
+            if not table.min_key <= key <= table.max_key:
                 continue
-            record = self._lookup_unit(key, table)
+            record = lookup_unit(key, table, advance, bloom_us, count)
             if record is not None:
                 return record
-        # Deeper levels.
-        for level in range(1, self.version.num_levels):
-            if self.version.sorted_levels:
-                self.clock.advance(costs.index_lookup_us)
+        # Deeper levels.  Every sorted level charges its index probe even
+        # when empty — the golden virtual-time contract.
+        if version.sorted_levels:
+            index_us = costs.index_lookup_us
+            find_responsible = version.find_responsible_file
+            for level in range(1, version.num_levels):
+                advance(index_us)
                 # Route by responsibility range, not raw range: linked
                 # slices can hold keys outside their carrier file's own
                 # [min, max] (see VersionSet.find_responsible_file).
-                table = self.version.find_responsible_file(level, key)
-                candidates = [] if table is None else [table]
-            else:
+                table = find_responsible(level, key)
+                if table is not None:
+                    record = lookup_unit(key, table, advance, bloom_us, count)
+                    if record is not None:
+                        return record
+        else:
+            for level in range(1, version.num_levels):
                 # Tiered levels are append-ordered like Level 0.
-                candidates = [
-                    t
-                    for t in reversed(self.version.files(level))
-                    if t.covers_key(key)
-                ]
-            for table in candidates:
-                record = self._lookup_unit(key, table)
-                if record is not None:
-                    return record
+                for table in reversed(version.files(level)):
+                    if not table.min_key <= key <= table.max_key:
+                        continue
+                    record = lookup_unit(key, table, advance, bloom_us, count)
+                    if record is not None:
+                        return record
         return None
 
-    def _lookup_unit(self, key: bytes, table: SSTable) -> Optional[KVRecord]:
+    def _lookup_unit(
+        self,
+        key: bytes,
+        table: SSTable,
+        advance,
+        bloom_us: float,
+        count,
+    ) -> Optional[KVRecord]:
         """Check one level-resident SSTable and its linked slices.
 
         Slices hold strictly newer data than the table, so a slice hit
         short-circuits the table read; among slices the newest record wins
         (they are checked via the frozen files' Bloom filters, the
         mechanism Figs. 12c/f and 13 study).
+
+        ``advance`` / ``bloom_us`` / ``count`` arrive pre-resolved from
+        :meth:`_lookup` — this runs several times per point lookup, and
+        the attribute chains dominate its cost otherwise.
         """
-        costs = self.config.costs
         best: Optional[KVRecord] = None
         if table.slice_links:
-            for piece in sorted(
-                table.slice_links, key=lambda p: p.link_seq, reverse=True
-            ):
+            for piece in table.links_newest_first():
                 if not piece.covers_key(key):
                     continue
-                self.clock.advance(costs.bloom_check_us)
-                if not piece.source.bloom.may_contain(key):
-                    self._count("engine.bloom_negative_skips")
+                advance(bloom_us)
+                # Direct slot read skips the lazy-build ``bloom`` property
+                # on the hot path; the property still builds on first use.
+                source = piece.source
+                bloom = source._bloom
+                if bloom is None:
+                    bloom = source.bloom
+                if not bloom.may_contain(key):
+                    count("engine.bloom_negative_skips")
                     continue
-                self._charge_point_read(piece.source, key)
+                self._charge_point_read(source, key)
                 record = piece.get(key)
-                if record is not None and (best is None or record.seq > best.seq):
+                if record is not None and (best is None or record[1] > best[1]):
                     best = record
             if best is not None:
                 return best
-        if not table.covers_key(key):
+        if not table.min_key <= key <= table.max_key:
             # The key fell in this file's responsibility gap: only the
             # slices (checked above) could have held it.
             return None
-        self.clock.advance(costs.bloom_check_us)
-        if not table.bloom.may_contain(key):
-            self._count("engine.bloom_negative_skips")
+        advance(bloom_us)
+        bloom = table._bloom
+        if bloom is None:
+            bloom = table.bloom
+        if not bloom.may_contain(key):
+            count("engine.bloom_negative_skips")
             return None
         self._charge_point_read(table, key)
         record = table.get(key)

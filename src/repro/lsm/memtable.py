@@ -5,25 +5,52 @@ reaches the configured capacity the engine flushes the contents to a
 Level-0 SSTable.  The memtable keeps only the newest record per user key —
 older in-memtable versions are unobservable in this engine (no snapshot
 reads), so overwriting in place is both correct and fast.
+
+Storage layout
+--------------
+Earlier versions indexed records with a skip list (`repro.lsm.skiplist`,
+still shipped for the crash-recovery tooling and its own tests).  A skip
+list pays per-node object and pointer overhead on every insert to keep the
+keys *always* sorted — but this engine only needs sorted order at flush,
+scan and recovery time, never on the put/get fast path.  The buffer is
+therefore array-backed: a hash index (``dict``) from key to the newest
+record, plus a sorted key array rebuilt lazily.  Inserts are amortised
+O(1); the first ordered read after a batch of inserts sorts once
+(Timsort on the mostly-sorted key array is near-linear), and point reads
+never sort at all.
+
+The simulated cost model is unaffected: the clock charges the configured
+``memtable_insert_us`` / ``memtable_lookup_us`` regardless of the host
+data structure, and iteration order (ascending by key, newest record per
+key) is identical to the skip list's.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from bisect import bisect_left
+from typing import Iterable, Iterator, List, Optional
 
 from .record import KVRecord
-from .skiplist import SkipList
 
 
 class MemTable:
-    """Sorted in-memory buffer of the newest record per key."""
+    """Sorted in-memory buffer of the newest record per key.
+
+    ``seed`` is accepted for compatibility with the skip-list-backed
+    implementation (which randomised node heights); the array-backed
+    buffer is deterministic and ignores it.
+    """
+
+    __slots__ = ("_records", "_keys", "_dirty", "_bytes")
 
     def __init__(self, seed: int = 0) -> None:
-        self._index = SkipList(seed=seed)
+        self._records: dict = {}
+        self._keys: List[bytes] = []
+        self._dirty = False
         self._bytes = 0
 
     def __len__(self) -> int:
-        return len(self._index)
+        return len(self._records)
 
     @property
     def approximate_bytes(self) -> int:
@@ -32,38 +59,68 @@ class MemTable:
 
     def add(self, record: KVRecord) -> None:
         """Insert a record, replacing any older version of the same key."""
-        previous = self._index.upsert(record.key, record)
-        if previous is not None:
-            self._bytes -= previous.encoded_size  # type: ignore[union-attr]
-        self._bytes += record.encoded_size
+        records = self._records
+        key = record[0]
+        previous = records.get(key)
+        records[key] = record
+        if previous is None:
+            self._dirty = True
+            self._bytes += record.encoded_size
+        else:
+            self._bytes += record.encoded_size - previous.encoded_size
 
     def add_sorted_batch(self, records: Iterable[KVRecord]) -> int:
         """Bulk-load records whose keys strictly increase past the tail.
 
-        Recovery fast path: links each record at the skip list's tail
-        instead of searching from the top.  Keys must be strictly
-        increasing and all greater than any key already buffered.
+        Recovery fast path: appends keys directly onto the sorted array
+        (no re-sort needed) when the buffer's order is clean.  Keys must
+        be strictly increasing and all greater than any key already
+        buffered — the same contract the skip list's tail-link path had.
         """
-        records = list(records)
-        count = self._index.extend_sorted(
-            (record.key, record) for record in records
-        )
-        self._bytes += sum(record.encoded_size for record in records)
-        return count
+        index = self._records
+        in_order = not self._dirty
+        keys = self._keys
+        push = keys.append
+        added = 0
+        total = 0
+        for record in records:
+            key = record[0]
+            index[key] = record
+            if in_order:
+                push(key)
+            total += record.encoded_size
+            added += 1
+        if not in_order:
+            self._dirty = True
+        self._bytes += total
+        return added
 
     def get(self, key: bytes) -> Optional[KVRecord]:
         """Return the newest buffered record for ``key`` (may be tombstone)."""
-        record = self._index.get(key)
-        return record  # type: ignore[return-value]
+        return self._records.get(key)
+
+    def _sorted_keys(self) -> List[bytes]:
+        if self._dirty:
+            self._keys = sorted(self._records)
+            self._dirty = False
+        return self._keys
+
+    def sorted_records(self) -> List[KVRecord]:
+        """All buffered records as a key-ascending list (flush fast path)."""
+        records = self._records
+        return [records[key] for key in self._sorted_keys()]
 
     def __iter__(self) -> Iterator[KVRecord]:
-        for _, record in self._index:
-            yield record  # type: ignore[misc]
+        records = self._records
+        for key in self._sorted_keys():
+            yield records[key]
 
     def iter_from(self, key: bytes) -> Iterator[KVRecord]:
         """Iterate records in key order starting at the first key >= ``key``."""
-        for _, record in self._index.iter_from(key):
-            yield record  # type: ignore[misc]
+        keys = self._sorted_keys()
+        records = self._records
+        for index in range(bisect_left(keys, key), len(keys)):
+            yield records[keys[index]]
 
     def is_empty(self) -> bool:
-        return len(self._index) == 0
+        return not self._records

@@ -20,9 +20,14 @@ from __future__ import annotations
 
 import zlib
 from bisect import bisect_left, bisect_right
+from operator import attrgetter, itemgetter
 from typing import List, Optional, Sequence, TYPE_CHECKING
 
-from itertools import accumulate
+from itertools import accumulate, islice
+
+_record_key = itemgetter(0)
+_record_seq = itemgetter(1)
+_slice_link_seq = attrgetter("link_seq")
 
 from .bloom import BloomFilter
 from .config import LSMConfig
@@ -31,6 +36,46 @@ from ..errors import EngineError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from ..core.slice import Slice
+
+
+class RecordView(Sequence[KVRecord]):
+    """A zero-copy ``[start, stop)`` window over an SSTable's record list.
+
+    ``records_in_range`` used to return a list slice — a fresh list per
+    call, O(range length) even when the caller (a scan's streaming merge)
+    consumes only the first few records.  This view keeps ``(backing,
+    start, stop)`` instead: iteration walks the backing list lazily via
+    ``islice`` (C-level), so a scan over a large tail pays only for the
+    records it actually merges.  The backing list is immutable for the
+    file's lifetime, which is what makes sharing it safe.
+    """
+
+    __slots__ = ("_backing", "_start", "_stop")
+
+    def __init__(self, backing: List[KVRecord], start: int, stop: int) -> None:
+        self._backing = backing
+        self._start = start
+        self._stop = stop
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __iter__(self):
+        return islice(self._backing, self._start, self._stop)
+
+    def __getitem__(self, index):
+        length = self._stop - self._start
+        if isinstance(index, slice):
+            start, stop, step = index.indices(length)
+            return self._backing[self._start + start:self._start + stop:step]
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError("RecordView index out of range")
+        return self._backing[self._start + index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RecordView({len(self)} records)"
 
 
 class SSTable:
@@ -47,10 +92,12 @@ class SSTable:
         "_records",
         "_size_prefix",
         "data_size",
-        "bloom",
+        "_bloom",
+        "_bloom_bits_per_key",
         "_block_starts",
         "_block_bytes",
         "slice_links",
+        "_links_newest",
         "linked_bytes",
         "frozen",
         "refcount",
@@ -69,6 +116,7 @@ class SSTable:
         bloom_bits_per_key: int,
         *,
         presorted: bool = False,
+        sizes: Optional[List[int]] = None,
     ) -> None:
         """Build a file over ``records``.
 
@@ -78,6 +126,12 @@ class SSTable:
         ``records`` is a list, transfers ownership of it — the caller must
         not mutate it afterwards.  Sort validation is skipped on that path;
         it is one of the hottest loops in the simulator.
+
+        ``sizes`` optionally supplies the per-record encoded sizes
+        (``len(key) + len(value) + RECORD_OVERHEAD_BYTES``, in record
+        order).  Builders already computed them to decide file cuts, so
+        passing them through skips a recompute in this constructor — also
+        a hot path, running once per flushed or compacted file.
         """
         if not records:
             raise EngineError("an SSTable must contain at least one record")
@@ -87,7 +141,7 @@ class SSTable:
         else:
             self._records = list(records)
         records_list = self._records
-        keys: List[bytes] = [record.key for record in records_list]
+        keys: List[bytes] = list(map(_record_key, records_list))
         self._keys = keys
         if not presorted:
             for left, right in zip(keys, keys[1:]):
@@ -100,17 +154,24 @@ class SSTable:
         # overhead, inlined from KVRecord.encoded_size) and reused for the
         # prefix sums and the block layout.  _size_prefix[i] is the total
         # size of records[0:i], making bytes_in_range O(log n).
-        sizes = [
-            len(record.key) + len(record.value) + RECORD_OVERHEAD_BYTES
-            for record in records_list
-        ]
+        if sizes is None:
+            sizes = [
+                len(record.key) + len(record.value) + RECORD_OVERHEAD_BYTES
+                for record in records_list
+            ]
         self._size_prefix = list(accumulate(sizes, initial=0))
         self.data_size = self._size_prefix[-1]
         # Plain attributes, not properties: the key range is immutable and
         # covers_key / version routing read these millions of times.
         self.min_key = keys[0]
         self.max_key = keys[-1]
-        self.bloom = BloomFilter(keys, bloom_bits_per_key)
+        # Bloom filter, built lazily on first probe: the bits are a pure
+        # function of (keys, bits_per_key) so deferral is unobservable,
+        # construction carries no virtual-time charge, and write-heavy
+        # runs create thousands of short-lived files whose filters are
+        # never consulted before compaction consumes them.
+        self._bloom: Optional[BloomFilter] = None
+        self._bloom_bits_per_key = bloom_bits_per_key
         self._block_starts, self._block_bytes = self._build_blocks(
             block_bytes, sizes
         )
@@ -124,13 +185,14 @@ class SSTable:
         # data counts toward *this* file's level for compaction scoring
         # (§III-A).  Maintained by attach_slice / the merge phase.
         self.slice_links: List["Slice"] = []
+        self._links_newest: Optional[List["Slice"]] = None
         self.linked_bytes = 0
         self.frozen = False
         self.refcount = 0
         # Highest sequence number stored in this file.  Recovery rebuilds
         # the engine's next-sequence counter from the max over live files
         # (plus replayed WAL records), so acknowledged seqs never repeat.
-        self.max_seq = max(record.seq for record in records_list)
+        self.max_seq = max(map(_record_seq, records_list))
         # Per-block CRCs, computed lazily: fault-free runs never pay for
         # them, decode paths under fault injection verify against the
         # device's delivered (possibly bit-flipped) copy.
@@ -144,6 +206,7 @@ class SSTable:
         config: LSMConfig,
         *,
         presorted: bool = False,
+        sizes: Optional[List[int]] = None,
     ) -> "SSTable":
         """Build an SSTable using the config's block and Bloom settings."""
         return cls(
@@ -152,6 +215,7 @@ class SSTable:
             config.block_bytes,
             config.bloom_bits_per_key,
             presorted=presorted,
+            sizes=sizes,
         )
 
     def _build_blocks(
@@ -176,6 +240,16 @@ class SSTable:
     # Metadata
     # ------------------------------------------------------------------
     @property
+    def bloom(self) -> BloomFilter:
+        """The file's Bloom filter, constructed on first access."""
+        built = self._bloom
+        if built is None:
+            built = self._bloom = BloomFilter(
+                self._keys, self._bloom_bits_per_key
+            )
+        return built
+
+    @property
     def num_records(self) -> int:
         return len(self._records)
 
@@ -190,6 +264,22 @@ class SSTable:
 
     def covers_key(self, key: bytes) -> bool:
         return self.min_key <= key <= self.max_key
+
+    def links_newest_first(self) -> List["Slice"]:
+        """Slice links in read-priority order (latest ``link_seq`` first).
+
+        Cached between link mutations: every point lookup touching a
+        linked file consults this order, while links change only at LDC
+        link/merge rounds (``attach_slice`` / ``detach_all_slices``
+        invalidate the cache).  Callers must not mutate the result.
+        """
+        cached = self._links_newest
+        if cached is None:
+            cached = sorted(
+                self.slice_links, key=_slice_link_seq, reverse=True
+            )
+            self._links_newest = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Point lookups
@@ -244,9 +334,9 @@ class SSTable:
     def records_in_range(
         self, lo: Optional[bytes], hi: Optional[bytes]
     ) -> Sequence[KVRecord]:
-        """All records with keys in ``[lo, hi)`` (a list slice, key-sorted)."""
+        """All records with keys in ``[lo, hi)`` (a zero-copy key-sorted view)."""
         start, stop = self._index_range(lo, hi)
-        return self._records[start:stop]
+        return RecordView(self._records, start, stop)
 
     def count_in_range(self, lo: Optional[bytes], hi: Optional[bytes]) -> int:
         start, stop = self._index_range(lo, hi)

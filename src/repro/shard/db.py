@@ -165,6 +165,30 @@ class ShardedDB:
     def delete(self, key: bytes) -> None:
         self.shard_for(key).delete(key)
 
+    def multi_get(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Batched point lookups; results align with ``keys``.
+
+        Keys are grouped by owning shard and each group runs through the
+        shard's :meth:`~repro.lsm.db.DB.multi_get` fast path, so the
+        per-shard simulated effects are identical to issuing the same
+        keys through :meth:`get` one at a time (shards share nothing, and
+        within a shard the batch preserves the caller's key order).
+        """
+        shard_of = self.partitioner.shard_of
+        groups: List[List[bytes]] = [[] for _ in self.shards]
+        slots: List[List[int]] = [[] for _ in self.shards]
+        for position, key in enumerate(keys):
+            index = shard_of(key)
+            groups[index].append(key)
+            slots[index].append(position)
+        results: List[Optional[bytes]] = [None] * sum(len(group) for group in groups)
+        for shard, group, positions in zip(self.shards, groups, slots):
+            if not group:
+                continue
+            for position, value in zip(positions, shard.multi_get(group)):
+                results[position] = value
+        return results
+
     def scan(self, start_key: bytes, count: int) -> List[Tuple[bytes, bytes]]:
         """Up to ``count`` live pairs with key >= start, fleet-wide order.
 

@@ -115,11 +115,29 @@ class WorkloadGenerator:
         if count == 0:
             return
         order = self._load_rng.permutation(self.spec.key_space)[:count]
-        for index in order:
-            yield Operation(OP_PUT, self.encode_key(int(index)), self.make_value())
+        encode_key = self.encode_key
+        make_value = self.make_value
+        for index in order.tolist():
+            yield Operation(OP_PUT, encode_key(index), make_value())
 
     def operations(self) -> Iterator[Operation]:
-        """The measured phase: ``num_operations`` requests per the spec."""
+        """The measured phase: ``num_operations`` requests per the spec.
+
+        Key-index draws (and, when the mix permits, operation-kind draws)
+        are generated in vectorized blocks; the emitted stream is
+        bit-identical to per-operation sampling because numpy's bulk
+        draws consume the underlying bit stream exactly like the
+        equivalent sequence of scalar draws (pinned by the workload
+        equivalence tests).  Distributions without a ``sample_block``
+        (the feedback-coupled "latest") fall back to the scalar loop.
+        """
+        sample_block = getattr(self._dist, "sample_block", None)
+        if sample_block is None:
+            return self._operations_scalar()
+        return self._operations_blocked(sample_block)
+
+    def _operations_scalar(self) -> Iterator[Operation]:
+        """Reference per-operation generation (and the "latest" path)."""
         spec = self.spec
         sample = self._dist.sample
         encode_key = self.encode_key
@@ -143,6 +161,56 @@ class WorkloadGenerator:
                 yield Operation(OP_GET, key)
             if latest is not None:
                 latest.population = min(spec.key_space, latest.population + 1)
+
+    #: Key/operation draws generated per vectorized block.
+    _GEN_BLOCK = 4096
+
+    def _operations_blocked(self, sample_block) -> Iterator[Operation]:
+        """Blocked generation for feedback-free distributions.
+
+        Key indices always batch (the key stream is an independent RNG).
+        Operation-kind draws batch only when ``delete_ratio == 0``: a
+        non-zero delete ratio consumes a *conditional* second draw per
+        write, so the number of op-stream draws depends on earlier
+        outcomes and the scalar loop is kept for that stream.
+        """
+        spec = self.spec
+        encode_key = self.encode_key
+        make_value = self.make_value
+        op_rng = self._op_rng
+        random = op_rng.random
+        write_ratio = spec.write_ratio
+        delete_ratio = spec.delete_ratio
+        scans = spec.query_type == "scan"
+        scan_length = spec.scan_length
+        block = self._GEN_BLOCK
+        remaining = spec.num_operations
+        while remaining > 0:
+            n = block if remaining > block else remaining
+            remaining -= n
+            indices = sample_block(n)
+            if not delete_ratio:
+                draws = random(n).tolist()
+                for index, draw in zip(indices, draws):
+                    key = encode_key(index)
+                    if draw < write_ratio:
+                        yield Operation(OP_PUT, key, make_value())
+                    elif scans:
+                        yield Operation(OP_SCAN, key, scan_length=scan_length)
+                    else:
+                        yield Operation(OP_GET, key)
+            else:
+                for index in indices:
+                    key = encode_key(index)
+                    if random() < write_ratio:
+                        if random() < delete_ratio:
+                            yield Operation(OP_DELETE, key)
+                        else:
+                            yield Operation(OP_PUT, key, make_value())
+                    elif scans:
+                        yield Operation(OP_SCAN, key, scan_length=scan_length)
+                    else:
+                        yield Operation(OP_GET, key)
 
     def _sample_index(self) -> int:
         """One draw from the key distribution (kept as a test seam)."""

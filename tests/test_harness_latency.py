@@ -92,6 +92,92 @@ class TestLatencyRecorder:
         assert results == sorted(results)
 
 
+class TestSampledRecording:
+    """Strided/capped sampling: streamed aggregates stay exact, and
+    percentiles stay within one histogram log-bucket of the exact path."""
+
+    def _latencies(self, count=20_000):
+        # Deterministic long-tailed distribution (log-normal-ish) so the
+        # high percentiles actually stress the histogram's log buckets.
+        import random
+
+        rng = random.Random(1234)
+        return [rng.lognormvariate(3.0, 1.0) for _ in range(count)]
+
+    def test_invalid_sampling_params_rejected(self):
+        with pytest.raises(ReproError):
+            LatencyRecorder(sample_stride=0)
+        with pytest.raises(ReproError):
+            LatencyRecorder(max_samples=0)
+
+    def test_default_mode_stores_everything(self):
+        recorder = LatencyRecorder()
+        for value in (1.0, 2.0, 3.0):
+            recorder.record(value)
+        assert not recorder.is_sampled
+        assert recorder.sample_count == len(recorder) == 3
+
+    def test_strided_recorder_bounds_memory(self):
+        recorder = LatencyRecorder(sample_stride=100, max_samples=50)
+        for value in self._latencies(10_000):
+            recorder.record(value)
+        assert recorder.is_sampled
+        assert len(recorder) == 10_000
+        assert recorder.sample_count == 50
+
+    def test_streamed_aggregates_exact_under_sampling(self):
+        values = self._latencies(5_000)
+        exact = LatencyRecorder()
+        sampled = LatencyRecorder(sample_stride=97, max_samples=10)
+        for value in values:
+            exact.record(value)
+            sampled.record(value)
+        assert sampled.mean() == pytest.approx(sum(values) / len(values))
+        assert sampled.minimum() == exact.minimum() == min(values)
+        assert sampled.maximum() == exact.maximum() == max(values)
+        assert len(sampled) == len(exact) == len(values)
+
+    def test_sampled_percentiles_within_bucket_error(self):
+        """Histogram-answered percentiles sit within ``growth - 1`` (5%)
+        relative error of the exact sorted-sample percentiles."""
+        values = self._latencies()
+        exact = LatencyRecorder()
+        sampled = LatencyRecorder(sample_stride=100)
+        exact.record_many(values)
+        sampled.record_many(values)
+        tolerance = sampled.histogram.growth - 1.0
+        for pct in (50.0, 90.0, 99.0, 99.9):
+            reference = exact.percentile(pct)
+            estimate = sampled.percentile(pct)
+            assert abs(estimate - reference) <= tolerance * reference + 1e-9, (
+                pct,
+                reference,
+                estimate,
+            )
+
+    def test_record_many_matches_per_call_under_sampling(self):
+        values = self._latencies(3_000)
+        chunked = LatencyRecorder(sample_stride=7, max_samples=200)
+        per_call = LatencyRecorder(sample_stride=7, max_samples=200)
+        chunked.record_many(values)
+        for value in values:
+            per_call.record(value)
+        assert list(chunked.values) == list(per_call.values)
+        assert chunked._sum == per_call._sum
+        assert len(chunked) == len(per_call)
+        assert chunked.is_sampled == per_call.is_sampled
+
+    def test_merge_propagates_sampling_flag(self):
+        lossy = LatencyRecorder(sample_stride=2)
+        lossy.record_many([1.0, 2.0, 3.0])
+        target = LatencyRecorder()
+        target.record(5.0)
+        target.merge_from(lossy)
+        assert target.is_sampled
+        assert len(target) == 4
+        assert target.maximum() == 5.0
+
+
 class TestLatencyTimeline:
     def test_bucketing(self):
         timeline = LatencyTimeline(bucket_us=100.0)

@@ -24,12 +24,15 @@ that is the contract.
 """
 
 import hashlib
+import json
 
 import pytest
 
 from repro.harness import experiments
+from repro.harness.runner import run_workload as runner_run_workload
 from repro.lsm import bloom
 from repro.lsm.bloom import BloomFilter, _base_hashes
+from repro.lsm.db import DB, WriteBatch
 from repro.workload import spec as workloads
 
 # ----------------------------------------------------------------------
@@ -137,6 +140,18 @@ GOLDEN_SCHED_END_TO_END = {
     },
 }
 
+#: Fingerprints of a fixed batched-API run (``write_batch`` fast path +
+#: ``multi_get``) per policy × scheduler mode.  ``write_batch`` is *not*
+#: equivalent to per-op puts (one WAL acquisition per batch, by design),
+#: so its simulated effects are pinned here the same way the per-op run
+#: is pinned above.  SHA-256 over the sorted counter dict + final clock.
+GOLDEN_BATCHED_FINGERPRINTS = {
+    ("UDC", 0): "8501fcb3605325805beb856cc8b6f65df1073ad84ffac22ca6067baab065237e",
+    ("UDC", 1): "d77edfb3852ef92537b7d74221f99dea7460d69b6623e8370b1f746652b4e6fb",
+    ("LDC", 0): "5f96148dcbae73bc723c0cd5c571dd67f3347fbe7095fe085c198f9e58a118a5",
+    ("LDC", 1): "cfc18a08168409c89140d1eacb0361204be4f35c9d94d9318ba3ee478ff1e03f",
+}
+
 _POLICIES = {"UDC": experiments.udc_factory, "LDC": experiments.ldc_factory()}
 
 
@@ -193,6 +208,41 @@ def _run(policy_name: str, bg_threads: int = 0):
         _POLICIES[policy_name],
         config=experiments.experiment_config(bg_threads=bg_threads),
     )
+
+
+def _batched_db(policy_name: str, bg_threads: int) -> DB:
+    """Drive a DB through the batched APIs with a fixed operation stream."""
+    config = experiments.experiment_config(bg_threads=bg_threads)
+    db = DB(config=config, policy=_POLICIES[policy_name]())
+    batch = WriteBatch()
+    for index in range(4000):
+        # Mostly-distinct keys so batches actually drive flushes and
+        # compaction (pure overwrites would sit in the memtable forever).
+        key = str(index % 3100).zfill(16).encode("ascii")
+        if index % 11 == 5:
+            batch.delete(key)
+        else:
+            batch.put(key, b"v%06d" % index + b"x" * 80)
+        if len(batch) == 7:
+            db.write_batch(batch)
+            batch.clear()
+    if len(batch):
+        db.write_batch(batch)
+    probe = [str(index * 3).zfill(16).encode("ascii") for index in range(500)]
+    for start in range(0, len(probe), 13):
+        db.multi_get(probe[start:start + 13])
+    if db.sched is not None:
+        db.sched.drain()
+    return db
+
+
+def _batched_fingerprint(policy_name: str, bg_threads: int) -> str:
+    db = _batched_db(policy_name, bg_threads)
+    payload = json.dumps(
+        {"counters": db.registry.counters(), "t_us": db.clock.now()},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
 
 
 class TestBloomGolden:
@@ -300,6 +350,71 @@ class TestSchedulerGolden:
         assert on["elapsed_us"] != off["elapsed_us"]
 
 
+class TestBatchedGolden:
+    """The batched APIs are pinned as tightly as the per-op run.
+
+    ``write_batch`` amortises WAL/memtable acquisition per batch (its
+    virtual-time cost intentionally differs from N individual puts), so
+    its simulated effects get their own fingerprints; ``multi_get`` must
+    stay *identical* to a per-key ``get`` loop, which the differential
+    test checks outright.
+    """
+
+    @pytest.mark.parametrize(
+        "policy_name,bg_threads",
+        [("UDC", 0), ("UDC", 1), ("LDC", 0), ("LDC", 1)],
+    )
+    def test_batched_run_fingerprint(self, policy_name, bg_threads):
+        fingerprint = _batched_fingerprint(policy_name, bg_threads)
+        assert fingerprint == GOLDEN_BATCHED_FINGERPRINTS[(policy_name, bg_threads)]
+
+    @pytest.mark.parametrize("policy_name", ["UDC", "LDC"])
+    def test_multi_get_identical_to_get_loop(self, policy_name):
+        """Same values, same counters, same clock as per-key gets."""
+
+        def _load(db):
+            for index in range(300):
+                db.put(
+                    str(index % 120).zfill(16).encode("ascii"),
+                    b"v%06d" % index,
+                )
+
+        keys = [str(index).zfill(16).encode("ascii") for index in range(150)]
+        config = experiments.experiment_config()
+        batched = DB(config=config, policy=_POLICIES[policy_name]())
+        _load(batched)
+        loop = DB(config=config, policy=_POLICIES[policy_name]())
+        _load(loop)
+        got = batched.multi_get(keys)
+        expected = [loop.get(key) for key in keys]
+        assert got == expected
+        assert batched.registry.counters() == loop.registry.counters()
+        assert batched.clock.now() == loop.clock.now()
+
+
+class TestChunkedDispatchDifferential:
+    """Chunked runner dispatch must equal per-op dispatch exactly."""
+
+    @pytest.mark.parametrize("policy_name", ["UDC", "LDC"])
+    def test_chunked_equals_per_op(self, policy_name):
+        spec = workloads.rwb(num_operations=1500, key_space=700)
+        config = experiments.experiment_config()
+        chunked = runner_run_workload(spec, _POLICIES[policy_name], config=config)
+        per_op = runner_run_workload(
+            spec, _POLICIES[policy_name], config=config, chunk_size=1
+        )
+        assert _snapshot(chunked) == _snapshot(per_op)
+        assert list(chunked.latencies.values) == list(per_op.latencies.values)
+        assert list(chunked.read_latencies.values) == list(
+            per_op.read_latencies.values
+        )
+        assert list(chunked.write_latencies.values) == list(
+            per_op.write_latencies.values
+        )
+        assert chunked.timeline.points() == per_op.timeline.points()
+        assert chunked.metrics.counters == per_op.metrics.counters
+
+
 def _regen() -> None:  # pragma: no cover - maintenance helper
     import json
 
@@ -316,6 +431,12 @@ def _regen() -> None:  # pragma: no cover - maintenance helper
             "sched", policy_name,
             json.dumps(_sched_snapshot(_run(policy_name, bg_threads=1)), indent=4),
         )
+    for policy_name in _POLICIES:
+        for bg_threads in (0, 1):
+            print(
+                f'    ("{policy_name}", {bg_threads}): '
+                f'"{_batched_fingerprint(policy_name, bg_threads)}",'
+            )
 
 
 if __name__ == "__main__":  # pragma: no cover
