@@ -32,7 +32,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
-from .errors import UnknownPolicyError
+from .errors import UnknownBenchmarkError, UnknownPolicyError
 from .harness import experiments
 from .harness.report import format_table, mib
 from .lsm.compaction.spec import resolve_factory
@@ -575,6 +575,26 @@ def run_bench_compare(paths: List[str], threshold: float) -> int:
     return 0
 
 
+def run_bench_history(directory: str) -> int:
+    """Print the markdown perf trajectory over committed BENCH_pr*.json.
+
+    The table pasted into docs/PERF.md comes from this command, so the
+    doc stays regenerable: ``repro bench --history``.
+    """
+    from .harness import bench
+
+    try:
+        entries = bench.load_bench_history(directory)
+    except OSError as exc:
+        print(f"cannot read {directory!r}: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"no BENCH_pr*.json reports found in {directory!r}", file=sys.stderr)
+        return 2
+    print(bench.history_table(entries))
+    return 0
+
+
 def run_bench_cli(
     quick: bool,
     out_dir: str,
@@ -600,7 +620,7 @@ def run_bench_cli(
             progress=lambda n: print(f"running {n} ..."),
             profile_dir=out_dir if profile else None,
         )
-    except KeyError as exc:
+    except UnknownBenchmarkError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     rows = [
@@ -829,6 +849,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="diff two BENCH_*.json reports instead of running ('bench' only)",
     )
     parser.add_argument(
+        "--history",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="print a markdown perf-trajectory table from the committed "
+        "BENCH_pr*.json baselines in DIR (default .) instead of running "
+        "('bench' only)",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=0.9,
@@ -881,6 +911,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             corrupt=args.corrupt,
         )
     if args.experiment == "bench":
+        if args.history is not None:
+            return run_bench_history(args.history)
         if args.compare is not None:
             return run_bench_compare(args.compare, threshold=args.threshold)
         return run_bench_cli(

@@ -28,6 +28,7 @@ from .adaptive import AdaptiveThreshold
 from .frozen import FrozenRegion
 from .slice import Slice, attach_slice, detach_all_slices
 from ..errors import CompactionError
+from ..lsm.compaction.columnar import merge_windows
 from ..lsm.compaction.primitives import (
     CandidateSelector,
     DataMovement,
@@ -151,6 +152,12 @@ class LDCLinkMergeMovement(DataMovement):
         )
         if use_adaptive:
             self._adaptive = AdaptiveThreshold(config.fan_out)
+        # With a fixed threshold this movement's decisions depend only on
+        # tree/frozen structure, so the engine's idle gate may cache a
+        # "no maintenance due" verdict between structural changes.  The
+        # adaptive controller shifts T_s with the op mix, so every
+        # operation must re-arm the maintenance poll.
+        self.observes_operations = self._adaptive is not None
 
     @property
     def threshold(self) -> int:
@@ -379,24 +386,31 @@ class LDCLinkMergeMovement(DataMovement):
         level = version.level_of(target)
 
         # Load the lower file in full and each slice's overlapping blocks.
-        db.device.read(target.data_size, COMPACTION_READ, sequential=True)
         if db._faulty:
+            # Per-read loop so CRC verification interleaves with the
+            # charges, aborting before later inputs are read.
+            db.device.read(target.data_size, COMPACTION_READ, sequential=True)
             db._verify_block_read(target, range(target.num_blocks))
-        for piece in slices:
-            db.device.read(
-                piece.read_block_bytes(), COMPACTION_READ, sequential=True
-            )
-            if db._faulty:
+            for piece in slices:
+                db.device.read(
+                    piece.read_block_bytes(), COMPACTION_READ, sequential=True
+                )
                 db._verify_block_read(
                     piece.source,
                     [b for b, _ in piece.source.blocks_in_range(piece.lo, piece.hi)],
                 )
+        else:
+            run_sizes = [target.data_size]
+            run_sizes.extend(piece.read_block_bytes() for piece in slices)
+            db.device.read_runs(run_sizes, COMPACTION_READ, sequential=True)
 
-        streams = [target.records]
-        streams.extend(piece.records() for piece in slices)
+        # The slices' cached index windows over their frozen sources *are*
+        # the merge inputs — no re-bisect, no record materialisation.
+        windows = [target.columns_window()]
+        windows.extend(piece.columns_window() for piece in slices)
         drop = policy.can_drop_tombstones(level)
-        merged = policy.merge_table_streams(streams, drop_deletes=drop)
-        outputs = policy.write_outputs(merged)
+        merged = merge_windows(windows)
+        outputs = policy.finish_merge(merged, drop_deletes=drop)
 
         version.remove_file(level, target)
         db.note_file_dropped(target)

@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 from ..lsm.keys import clamp_range, in_range
 from ..lsm.record import KVRecord
-from ..lsm.sstable import SSTable
+from ..lsm.sstable import RecordView, SSTable
 from ..errors import EngineError
 
 
@@ -27,7 +27,16 @@ class Slice:
     (§III-B.3: "linked slices have higher priority for reading").
     """
 
-    __slots__ = ("source", "lo", "hi", "link_seq", "size_bytes", "record_count")
+    __slots__ = (
+        "source",
+        "lo",
+        "hi",
+        "link_seq",
+        "size_bytes",
+        "record_count",
+        "_start",
+        "_stop",
+    )
 
     def __init__(
         self,
@@ -44,10 +53,21 @@ class Slice:
         self.lo = lo
         self.hi = hi
         self.link_seq = link_seq
+        # The source is immutable, so the slice's index window is fixed at
+        # construction: cache it once instead of re-bisecting the key
+        # column on every records()/size query.
+        start, stop = source._index_range(lo, hi)
+        self._start = start
+        self._stop = stop
         #: Cached logical size of the slice — this is the quantity that
         #: accumulates toward the SliceLink threshold T_s.
-        self.size_bytes = source.bytes_in_range(lo, hi)
-        self.record_count = source.count_in_range(lo, hi)
+        if stop > start:
+            prefix = source._size_prefix
+            self.size_bytes = prefix[stop] - prefix[start]
+            self.record_count = stop - start
+        else:
+            self.size_bytes = 0
+            self.record_count = 0
 
     # ------------------------------------------------------------------
     def covers_key(self, key: bytes) -> bool:
@@ -61,7 +81,25 @@ class Slice:
 
     def records(self) -> Sequence[KVRecord]:
         """All records this slice denotes, key-sorted."""
-        return self.source.records_in_range(self.lo, self.hi)
+        return RecordView(self.source._records, self._start, self._stop)
+
+    def columns_window(self) -> tuple:
+        """The slice as a columnar merge window over its source's columns.
+
+        Same shape as :meth:`~repro.lsm.sstable.SSTable.columns_window`
+        but bounded to the slice's cached ``[start, stop)`` index window —
+        the merge input representation of LDC's link/merge fast path (no
+        re-bisect, no per-record decode).
+        """
+        source = self.source
+        return (
+            source._keys,
+            source._records,
+            source.seqs,
+            source._sizes,
+            self._start,
+            self._stop,
+        )
 
     def records_in_range(
         self, lo: Optional[bytes], hi: Optional[bytes]

@@ -129,6 +129,24 @@ class FaultyDevice:
         self._before_io(category, nbytes, is_write=True)
         return self.inner.write(nbytes, category, sequential=sequential)
 
+    def read_runs(
+        self,
+        run_sizes: "list[int]",
+        category: str,
+        *,
+        sequential: bool = False,
+    ) -> float:
+        """Batched reads stay per-run under injection: every run passes
+        through :meth:`read`, so crash indices, corruption take-points and
+        per-category counts see the exact same I/O sequence as unbatched
+        callers.  (The engine's fault-aware paths read per run anyway so
+        they can interleave CRC verification; this keeps the wrapper's
+        surface complete.)"""
+        total = 0.0
+        for nbytes in run_sizes:
+            total += self.read(nbytes, category, sequential=sequential)
+        return total
+
     # ------------------------------------------------------------------
     # Corruption hand-off to decode paths
     # ------------------------------------------------------------------

@@ -324,14 +324,18 @@ def _run_chunked(
     would have appended them, so the recorded state is bit-identical.
     """
     clock = db.clock
-    now = clock.now
     db_put = db.put
     db_get = db.get
     db_scan = db.scan
     db_delete = db.delete
-    counter = db.registry.counter
+    # Stall counters are read twice per operation; go straight to the
+    # registry's counter dict (registry.reset() mutates it in place, so
+    # the reference stays valid for the DB's lifetime).
+    counters_get = db.registry._counters.get
     timeline_record = timeline.record
-    stall_total = counter("engine.stall_time_us") + counter("sched.device_wait_us")
+    stall_total = counters_get("engine.stall_time_us", 0) + counters_get(
+        "sched.device_wait_us", 0
+    )
     count = 0
     stream = iter(operations)
     while True:
@@ -345,7 +349,7 @@ def _run_chunked(
         push_event = events.append
         for operation in chunk:
             kind = operation[0]
-            begin = now()
+            begin = clock._now_us
             if kind == OP_PUT:
                 db_put(operation[1], operation[2])
             elif kind == OP_GET:
@@ -359,9 +363,9 @@ def _run_chunked(
                 db_put(operation[1], operation[2] or current or b"")
             else:
                 raise WorkloadError(f"unknown operation kind {kind!r}")
-            latency = now() - begin
-            stalled = counter("engine.stall_time_us") + counter(
-                "sched.device_wait_us"
+            latency = clock._now_us - begin
+            stalled = counters_get("engine.stall_time_us", 0) + counters_get(
+                "sched.device_wait_us", 0
             )
             bucket = per_kind.get(kind)
             if bucket is None:

@@ -13,6 +13,8 @@ two over every record the engine ever writes.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from itertools import accumulate
 from typing import Callable, Iterable, List, Sequence
 
 from .config import LSMConfig
@@ -100,6 +102,60 @@ class SSTableBuilder:
                 push_size = pending_sizes.append
         self._pending_bytes = pending_bytes
         self._last_key = records[-1][0]
+
+    def add_sorted_columns(self, keys: List[bytes], records: List[KVRecord]) -> None:
+        """Bulk-append a sorted run given as parallel key/record columns.
+
+        The columnar flush fast path: the memtable hands over its sorted
+        key array alongside the records, so emitted files skip the key
+        re-extraction, and file cut points are found by bisect over the
+        run's size prefix instead of a per-record accumulation loop.  Cuts
+        are identical to :meth:`add_sorted_run` (emit as soon as the
+        pending bytes reach the target; the tail stays pending).
+        """
+        if not records:
+            return
+        if self._last_key is not None and keys[0] <= self._last_key:
+            raise EngineError(
+                f"builder requires strictly increasing keys: "
+                f"{keys[0]!r} after {self._last_key!r}"
+            )
+        if self._pending:
+            # Mixed with per-record add(): keep the single accumulation
+            # path authoritative rather than splicing columns into it.
+            self.add_sorted_run(records)
+            return
+        overhead = RECORD_OVERHEAD_BYTES
+        sizes = [
+            len(key) + len(record[3]) + overhead
+            for key, record in zip(keys, records)
+        ]
+        prefix = list(accumulate(sizes, initial=0))
+        n = len(records)
+        target = self._config.sstable_target_bytes
+        config = self._config
+        outputs = self._outputs
+        start = 0
+        while start < n:
+            cut = bisect_left(prefix, prefix[start] + target, start + 1)
+            if cut > n:
+                break
+            outputs.append(
+                SSTable.from_records(
+                    self._next_file_id(),
+                    records[start:cut],
+                    config,
+                    presorted=True,
+                    sizes=sizes[start:cut],
+                    keys=keys[start:cut],
+                )
+            )
+            start = cut
+        if start < n:
+            self._pending = records[start:]
+            self._pending_sizes = sizes[start:]
+            self._pending_bytes = prefix[n] - prefix[start]
+        self._last_key = keys[-1]
 
     def _emit(self) -> None:
         if not self._pending:
@@ -192,4 +248,57 @@ def build_balanced(
                 sizes=sizes[chunk_start:],
             )
         )
+    return outputs
+
+
+def build_balanced_columns(
+    keys: List[bytes],
+    records: List[KVRecord],
+    seqs: List[int],
+    sizes: List[int],
+    config: LSMConfig,
+    next_file_id: Callable[[], int],
+) -> List[SSTable]:
+    """Columnar :func:`build_balanced`: cut merged columns into SSTables.
+
+    Same file-cut semantics (``nfiles = round(total / target)``, greedy cut
+    once a chunk reaches ``total / nfiles`` while earlier than the last
+    file), but the cut points come from one bisect per output file over
+    the size prefix, and each output SSTable is constructed from column
+    slices — no per-record work at all.  ``per_file`` is a float; record
+    sizes are integers at least ``1/nfiles`` of a byte away from it after
+    the division, so comparing against ``prefix[start] + per_file`` is
+    exact despite the float add.
+    """
+    if not records:
+        return []
+    prefix = list(accumulate(sizes, initial=0))
+    total = prefix[-1]
+    nfiles = max(1, round(total / config.sstable_target_bytes))
+    per_file = total / nfiles
+    outputs: List[SSTable] = []
+    n = len(records)
+    last_cut = nfiles - 1
+    start = 0
+    emitted = 0
+    while start < n:
+        if emitted < last_cut:
+            stop = bisect_left(prefix, prefix[start] + per_file, start + 1)
+            if stop > n:
+                stop = n
+        else:
+            stop = n
+        outputs.append(
+            SSTable.from_records(
+                next_file_id(),
+                records[start:stop],
+                config,
+                presorted=True,
+                sizes=sizes[start:stop],
+                keys=keys[start:stop],
+                seqs=seqs[start:stop],
+            )
+        )
+        start = stop
+        emitted += 1
     return outputs

@@ -31,7 +31,10 @@ class BlockCache:
     Hit/miss counts live in the metrics registry (``cache.hits`` /
     ``cache.misses``) so they appear in ``db.metrics()`` and zero with
     ``db.reset_measurements()``; a private registry is created when none
-    is shared in.
+    is shared in.  Capacity-pressure evictions are counted too
+    (``cache.evictions`` / ``cache.evicted_bytes``), created lazily on
+    the first eviction; :meth:`evict_file` drops are deliberate and not
+    counted.
     """
 
     def __init__(
@@ -62,6 +65,16 @@ class BlockCache:
     def misses(self, value: int) -> None:
         self.registry.set_counter("cache.misses", int(value))
 
+    @property
+    def evictions(self) -> int:
+        """Blocks dropped under capacity pressure (not ``evict_file``)."""
+        return int(self.registry.counter("cache.evictions"))
+
+    @property
+    def evicted_bytes(self) -> int:
+        """Bytes dropped under capacity pressure (not ``evict_file``)."""
+        return int(self.registry.counter("cache.evicted_bytes"))
+
     def lookup(self, file_id: int, block_index: int) -> bool:
         """True (and refresh recency) if the block is resident."""
         key = (file_id, block_index)
@@ -82,9 +95,19 @@ class BlockCache:
             self._used_bytes -= previous
         self._entries[key] = nbytes
         self._used_bytes += nbytes
+        evicted_blocks = 0
+        evicted_bytes = 0
         while self._used_bytes > self.capacity_bytes:
             _, evicted = self._entries.popitem(last=False)
             self._used_bytes -= evicted
+            evicted_blocks += 1
+            evicted_bytes += evicted
+        if evicted_blocks:
+            # Lazily created on the first real LRU eviction: runs whose
+            # working set fits the cache keep an identical counter set
+            # (the batched fingerprints hash every registry key).
+            self.registry.add("cache.evictions", evicted_blocks)
+            self.registry.add("cache.evicted_bytes", evicted_bytes)
 
     def evict_file(self, file_id: int) -> int:
         """Drop every resident block of ``file_id``; returns bytes freed.

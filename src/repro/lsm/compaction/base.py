@@ -21,7 +21,10 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
-from ..builder import build_balanced
+from operator import itemgetter
+
+from .columnar import MergedColumns, merge_windows
+from ..builder import build_balanced, build_balanced_columns
 from ..record import KIND_DELETE, KVRecord
 from ..sstable import SSTable
 from ...errors import CompactionError
@@ -40,6 +43,8 @@ if TYPE_CHECKING:  # pragma: no cover
 #: a policy stopped making progress — a bug we want surfaced, not hidden.
 MAX_ROUNDS_PER_PASS = 10_000
 
+_record_kind = itemgetter(2)
+
 
 class CompactionPolicy(ABC):
     """Strategy object deciding when and how the tree is compacted."""
@@ -49,6 +54,16 @@ class CompactionPolicy(ABC):
 
     def __init__(self) -> None:
         self.db: Optional["DB"] = None
+        #: Idle gate (see DB._maintenance_step): True while the policy is
+        #: known to have no maintenance due and nothing re-armed the poll.
+        #: Cleared by flush, seek exhaustion and (for adaptive movements)
+        #: every operation notification.
+        self._maintenance_idle = False
+        #: Whether the engine may set the gate at all.  False here so
+        #: direct CompactionPolicy subclasses keep per-op polling;
+        #: ComposedPolicy turns it on for movements that declare their
+        #: decisions structure-pure (DataMovement.IDLE_STABLE).
+        self._idle_stable = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -192,10 +207,18 @@ class CompactionPolicy(ABC):
         """
         db = self._db
         device = db.device
-        for table in tables:
-            device.read(table.data_size, COMPACTION_READ, sequential=True)
-            if db._faulty:
+        if db._faulty:
+            # Interleave each file's read with its CRC verification so an
+            # injected flip aborts before later inputs are charged.
+            for table in tables:
+                device.read(table.data_size, COMPACTION_READ, sequential=True)
                 db._verify_block_read(table, range(table.num_blocks))
+            return
+        device.read_runs(
+            [table.data_size for table in tables],
+            COMPACTION_READ,
+            sequential=True,
+        )
 
     def merge_table_streams(
         self,
@@ -240,6 +263,39 @@ class CompactionPolicy(ABC):
             db.device.write(table.data_size, COMPACTION_WRITE, sequential=True)
         return outputs
 
+    def finish_merge(
+        self, merged: MergedColumns, *, drop_deletes: bool
+    ) -> List[SSTable]:
+        """Charge the merge CPU, drop tombstones, build and charge outputs.
+
+        The columnar tail of every compaction: takes the merged columns
+        from :func:`~repro.lsm.compaction.columnar.merge_windows`, charges
+        exactly the legacy per-record merge cost (one advance over the
+        deduplicated count, *before* tombstones drop — identical to
+        :meth:`merge_table_streams`), then cuts balanced output files from
+        column slices and charges their sequential writes.
+        """
+        db = self._db
+        keys, records, seqs, sizes = merged
+        db.clock.advance(len(records) * db.config.costs.merge_per_record_us)
+        if drop_deletes:
+            kinds = list(map(_record_kind, records))
+            if KIND_DELETE in kinds:
+                keep = [
+                    index for index, kind in enumerate(kinds)
+                    if kind != KIND_DELETE
+                ]
+                keys = [keys[index] for index in keep]
+                records = [records[index] for index in keep]
+                seqs = [seqs[index] for index in keep]
+                sizes = [sizes[index] for index in keep]
+        outputs = build_balanced_columns(
+            keys, records, seqs, sizes, db.config, db.next_file_id
+        )
+        for table in outputs:
+            db.device.write(table.data_size, COMPACTION_WRITE, sequential=True)
+        return outputs
+
     def merge_tables(
         self,
         inputs: Sequence[SSTable],
@@ -248,10 +304,8 @@ class CompactionPolicy(ABC):
     ) -> List[SSTable]:
         """Classic whole-file compaction: read, merge, write (Definition 2.4)."""
         self.read_inputs(inputs)
-        merged = self.merge_table_streams(
-            [table.records for table in inputs], drop_deletes=drop_deletes
-        )
-        return self.write_outputs(merged)
+        merged = merge_windows([table.columns_window() for table in inputs])
+        return self.finish_merge(merged, drop_deletes=drop_deletes)
 
     def can_drop_tombstones(self, target_level: int) -> bool:
         """Tombstones may be dropped when nothing deeper can hold the key."""

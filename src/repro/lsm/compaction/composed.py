@@ -24,6 +24,7 @@ import warnings
 from typing import TYPE_CHECKING
 
 from .base import CompactionPolicy, guard_rounds
+from .primitives import DataMovement
 from ...errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -84,6 +85,20 @@ class ComposedPolicy(CompactionPolicy):
         for primitive in (self.layout, self.trigger, self.selector,
                           self.movement):
             primitive.attach(self)
+        # Idle-gate wiring (see DB._maintenance_step): a composed decision
+        # reads the tree plus movement state, so between structural
+        # changes a "no work due" verdict can be cached.  A movement that
+        # observes operations (LDC's adaptive controller) re-arms the
+        # poll on every op; movements may opt out of the gate entirely
+        # with IDLE_STABLE = False.
+        movement = self.movement
+        observes = getattr(movement, "observes_operations", None)
+        if observes is None:
+            observes = (
+                type(movement).on_operation is not DataMovement.on_operation
+            )
+        self._movement_observes = observes
+        self._idle_stable = movement.IDLE_STABLE
 
     def compact_one(self) -> bool:
         movement = self.movement
@@ -115,9 +130,12 @@ class ComposedPolicy(CompactionPolicy):
             did_work = True
 
     def on_operation(self, is_write: bool) -> None:
-        self.movement.on_operation(is_write)
+        if self._movement_observes:
+            self.movement.on_operation(is_write)
+            self._maintenance_idle = False
 
     def note_seek_exhausted(self, table) -> None:
+        self._maintenance_idle = False
         self.trigger.note_seek_exhausted(table)
 
     def extra_space_bytes(self) -> int:

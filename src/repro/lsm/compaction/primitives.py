@@ -170,6 +170,14 @@ class DataMovement(Primitive):
     #: True for movements with zero-I/O metadata actions (LDC links):
     #: the composed loop batches free actions until one bears I/O.
     zero_io_batching: ClassVar[bool] = False
+    #: True when ``urgent_round`` / the composed decision depend only on
+    #: tree structure and movement state mutated by rounds or operation
+    #: notifications.  The engine then caches a "no maintenance due"
+    #: verdict between structural changes instead of re-polling the
+    #: policy on every user operation.  Set False for movements whose
+    #: decisions read ambient state (e.g. the clock) that moves without
+    #: a structural change.
+    IDLE_STABLE: ClassVar[bool] = True
 
     def urgent_round(self) -> bool:
         """Movement-internal debt that preempts the trigger (LDC merges)."""

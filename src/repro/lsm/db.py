@@ -153,9 +153,25 @@ class DB:
         # Hot-path shortcut for per-operation counter bumps: one registry
         # add instead of a property read-modify-write (same end state).
         self._count = self.registry.add
+        # The raw counter dict for the hottest integer bumps (engine.gets,
+        # block reads): registry.reset zeroes values in place, so the dict
+        # object stays valid for the DB's lifetime.
+        self._counters = self.registry._counters
         # Stall triggers, cached: _maybe_stall runs before every write.
         self._l0_stop = self.config.l0_stop_trigger
         self._l0_slowdown = self.config.l0_slowdown_trigger
+        # Fused user-read charging (see _charge_point_read): only the
+        # plain simulated device has a closed-form cost with no fault
+        # hooks; anything else keeps the full device.read call.
+        if type(self.device) is SimulatedSSD:
+            device_profile = self.device.profile
+            self._read_overhead = device_profile.read_overhead_us
+            self._read_per_byte = device_profile.read_us_per_byte
+            self._user_read_stats = self.device.stats._stream(
+                self.device.stats.reads, "read", USER_READ
+            )
+        else:
+            self._user_read_stats = None
         self.policy.attach(self)
         #: Virtual-time background compaction (repro.sched); None keeps
         #: the historical synchronous engine with bit-identical timing.
@@ -308,20 +324,25 @@ class DB:
     def _apply_write(self, record: KVRecord) -> None:
         self.policy.on_operation(True)
         self._maybe_stall()
+        charge_activity = self.engine_stats.charge_activity
         if self._wal is not None:
-            elapsed = self._wal.append(record)
-            self.engine_stats.charge_activity(ACT_WAL, elapsed)
-        start = self.clock.now()
-        self._memtable.add(record)
-        self.clock.advance(self.config.costs.memtable_insert_us)
-        count = self._count
-        if record.kind == KIND_DELETE:
-            count("engine.deletes")
+            charge_activity(ACT_WAL, self._wal.append(record))
+        clock = self.clock
+        start = clock._now_us
+        memtable = self._memtable
+        memtable.add(record)
+        clock.advance(self.config.costs.memtable_insert_us)
+        counters = self._counters
+        if record[2] == KIND_DELETE:
+            counters["engine.deletes"] = counters.get("engine.deletes", 0) + 1
         else:
-            count("engine.puts")
-        count("engine.user_bytes_written", record.encoded_size)
-        self.engine_stats.charge_activity(ACT_WRITE, self.clock.now() - start)
-        if self._memtable.approximate_bytes >= self.config.memtable_bytes:
+            counters["engine.puts"] = counters.get("engine.puts", 0) + 1
+        counters["engine.user_bytes_written"] = (
+            counters.get("engine.user_bytes_written", 0)
+            + len(record[0]) + len(record[3]) + RECORD_OVERHEAD_BYTES
+        )
+        charge_activity(ACT_WRITE, clock._now_us - start)
+        if memtable._bytes >= self.config.memtable_bytes:
             self.flush()
         self._maintenance_step()
 
@@ -409,7 +430,7 @@ class DB:
             return
         start = self.clock.now()
         builder = SSTableBuilder(self.config, self.next_file_id)
-        builder.add_sorted_run(self._memtable.sorted_records())
+        builder.add_sorted_columns(*self._memtable.sorted_columns())
         outputs = builder.finish()
         flushed_bytes = 0
         for table in outputs:
@@ -419,6 +440,7 @@ class DB:
         self._memtable = MemTable(seed=self._seed)
         if self._wal is not None:
             self._wal.reset()
+        self.policy._maintenance_idle = False
         self.engine_stats.flush_count += 1
         self.engine_stats.charge_activity(ACT_FLUSH, self.clock.now() - start)
         self.tracer.emit(
@@ -445,11 +467,20 @@ class DB:
         if self.sched is not None:
             self.sched.on_operation()
             return
+        policy = self.policy
+        if policy._maintenance_idle:
+            # Nothing structural changed since the last poll said "no
+            # work due" — skip the whole decision chain.  The flag is
+            # cleared by flush, seek exhaustion and adaptive-movement
+            # operation notifications (see CompactionPolicy).
+            return
         start = self.clock.now()
-        if self.policy.compact_one_tracked():
+        if policy.compact_one_tracked():
             self.engine_stats.charge_activity(
                 ACT_COMPACTION, self.clock.now() - start
             )
+        elif policy._idle_stable:
+            policy._maintenance_idle = True
 
     def _run_compactions(self) -> None:
         """Drain all due compaction work (Level-0 stop stall, close)."""
@@ -470,15 +501,17 @@ class DB:
         if type(key) is not bytes or not key:
             _check_key(key)
         self.policy.on_operation(False)
-        start = self.clock.now()
-        self._count("engine.gets")
+        clock = self.clock
+        start = clock._now_us
+        counters = self._counters
+        counters["engine.gets"] = counters.get("engine.gets", 0) + 1
         record = self._lookup(key)
-        self.engine_stats.charge_activity(ACT_READ, self.clock.now() - start)
+        self.engine_stats.charge_activity(ACT_READ, clock._now_us - start)
         self._maintenance_step()
-        if record is None or record.kind == KIND_DELETE:
+        if record is None or record[2] == KIND_DELETE:
             return None
-        self._count("engine.get_hits")
-        return record.value
+        counters["engine.get_hits"] = counters.get("engine.get_hits", 0) + 1
+        return record[3]
 
     def multi_get(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
         """Point-lookup many keys; returns values aligned with ``keys``.
@@ -644,12 +677,28 @@ class DB:
                 EV_CACHE_MISS, file_id=table.file_id, block=block_index,
                 nbytes=nbytes,
             )
-        self.device.read(nbytes, USER_READ)
-        if self._faulty:
-            # Verify before the cache insert so a corrupt block is never
-            # served from memory later.
-            self._verify_block_read(table, (block_index,))
-        self._count("engine.sstable_blocks_read")
+        stats = self._user_read_stats
+        device = self.device
+        if (
+            stats is not None
+            and device.channel is None
+            and not device.tracer.active
+        ):
+            # Fused plain-device block read: identical charge expression
+            # and counter updates to SimulatedSSD.read, one call deep.
+            elapsed = self._read_overhead + nbytes * self._read_per_byte
+            self.clock.advance_io(elapsed, nbytes)
+            stats.record(nbytes, elapsed)
+        else:
+            device.read(nbytes, USER_READ)
+            if self._faulty:
+                # Verify before the cache insert so a corrupt block is
+                # never served from memory later.
+                self._verify_block_read(table, (block_index,))
+        counters = self._counters
+        counters["engine.sstable_blocks_read"] = (
+            counters.get("engine.sstable_blocks_read", 0) + 1
+        )
         if cache is not None:
             cache.insert(table.file_id, block_index, nbytes)
 

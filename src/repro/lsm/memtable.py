@@ -30,7 +30,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Iterable, Iterator, List, Optional
 
-from .record import KVRecord
+from .record import KVRecord, RECORD_OVERHEAD_BYTES
 
 
 class MemTable:
@@ -63,11 +63,13 @@ class MemTable:
         key = record[0]
         previous = records.get(key)
         records[key] = record
+        # KVRecord.encoded_size inlined: this runs once per write and the
+        # property call dominates an otherwise dict-only operation.
         if previous is None:
             self._dirty = True
-            self._bytes += record.encoded_size
+            self._bytes += len(key) + len(record[3]) + RECORD_OVERHEAD_BYTES
         else:
-            self._bytes += record.encoded_size - previous.encoded_size
+            self._bytes += len(record[3]) - len(previous[3])
 
     def add_sorted_batch(self, records: Iterable[KVRecord]) -> int:
         """Bulk-load records whose keys strictly increase past the tail.
@@ -88,7 +90,7 @@ class MemTable:
             index[key] = record
             if in_order:
                 push(key)
-            total += record.encoded_size
+            total += len(key) + len(record[3]) + RECORD_OVERHEAD_BYTES
             added += 1
         if not in_order:
             self._dirty = True
@@ -109,6 +111,19 @@ class MemTable:
         """All buffered records as a key-ascending list (flush fast path)."""
         records = self._records
         return [records[key] for key in self._sorted_keys()]
+
+    def sorted_columns(self) -> tuple:
+        """``(keys, records)`` parallel columns, key-ascending.
+
+        The columnar flush path: the sorted key array already exists (or
+        is sorted once here), so the builder and the SSTable constructor
+        can reuse it instead of re-extracting keys record by record.  The
+        returned key list is shared with the memtable — callers must
+        treat it as immutable (flush discards the memtable right after).
+        """
+        records = self._records
+        keys = self._sorted_keys()
+        return keys, [records[key] for key in keys]
 
     def __iter__(self) -> Iterator[KVRecord]:
         records = self._records

@@ -90,6 +90,8 @@ class SSTable:
         "file_id",
         "_keys",
         "_records",
+        "_seqs",
+        "_sizes",
         "_size_prefix",
         "data_size",
         "_bloom",
@@ -117,6 +119,8 @@ class SSTable:
         *,
         presorted: bool = False,
         sizes: Optional[List[int]] = None,
+        keys: Optional[List[bytes]] = None,
+        seqs: Optional[List[int]] = None,
     ) -> None:
         """Build a file over ``records``.
 
@@ -132,6 +136,11 @@ class SSTable:
         order).  Builders already computed them to decide file cuts, so
         passing them through skips a recompute in this constructor — also
         a hot path, running once per flushed or compacted file.
+
+        ``keys`` and ``seqs`` optionally supply the corresponding record
+        columns (the columnar merge emits them alongside the records), with
+        the same ownership transfer as ``records``.  They let the
+        constructor skip the per-record column extraction entirely.
         """
         if not records:
             raise EngineError("an SSTable must contain at least one record")
@@ -141,7 +150,8 @@ class SSTable:
         else:
             self._records = list(records)
         records_list = self._records
-        keys: List[bytes] = list(map(_record_key, records_list))
+        if keys is None:
+            keys = list(map(_record_key, records_list))
         self._keys = keys
         if not presorted:
             for left, right in zip(keys, keys[1:]):
@@ -152,13 +162,15 @@ class SSTable:
                     )
         # Per-record encoded sizes, computed once (len(key) + len(value) +
         # overhead, inlined from KVRecord.encoded_size) and reused for the
-        # prefix sums and the block layout.  _size_prefix[i] is the total
-        # size of records[0:i], making bytes_in_range O(log n).
+        # prefix sums, the block layout and as a merge-input column.
+        # _size_prefix[i] is the total size of records[0:i], making
+        # bytes_in_range O(log n).
         if sizes is None:
             sizes = [
                 len(record.key) + len(record.value) + RECORD_OVERHEAD_BYTES
                 for record in records_list
             ]
+        self._sizes = sizes
         self._size_prefix = list(accumulate(sizes, initial=0))
         self.data_size = self._size_prefix[-1]
         # Plain attributes, not properties: the key range is immutable and
@@ -172,9 +184,7 @@ class SSTable:
         # never consulted before compaction consumes them.
         self._bloom: Optional[BloomFilter] = None
         self._bloom_bits_per_key = bloom_bits_per_key
-        self._block_starts, self._block_bytes = self._build_blocks(
-            block_bytes, sizes
-        )
+        self._block_starts, self._block_bytes = self._build_blocks(block_bytes)
         # LevelDB's seek-compaction budget: after this many unproductive
         # probes the file becomes a compaction candidate (a file probed
         # often but rarely hit is cheaper merged than repeatedly seeked).
@@ -192,7 +202,10 @@ class SSTable:
         # Highest sequence number stored in this file.  Recovery rebuilds
         # the engine's next-sequence counter from the max over live files
         # (plus replayed WAL records), so acknowledged seqs never repeat.
-        self.max_seq = max(map(_record_seq, records_list))
+        self._seqs = seqs
+        self.max_seq = (
+            max(seqs) if seqs is not None else max(map(_record_seq, records_list))
+        )
         # Per-block CRCs, computed lazily: fault-free runs never pay for
         # them, decode paths under fault injection verify against the
         # device's delivered (possibly bit-flipped) copy.
@@ -207,6 +220,8 @@ class SSTable:
         *,
         presorted: bool = False,
         sizes: Optional[List[int]] = None,
+        keys: Optional[List[bytes]] = None,
+        seqs: Optional[List[int]] = None,
     ) -> "SSTable":
         """Build an SSTable using the config's block and Bloom settings."""
         return cls(
@@ -216,24 +231,34 @@ class SSTable:
             config.bloom_bits_per_key,
             presorted=presorted,
             sizes=sizes,
+            keys=keys,
+            seqs=seqs,
         )
 
-    def _build_blocks(
-        self, block_bytes: int, record_sizes: List[int]
-    ) -> tuple[List[int], List[int]]:
-        """Partition the record array into blocks of ~``block_bytes`` each."""
+    def _build_blocks(self, block_bytes: int) -> tuple[List[int], List[int]]:
+        """Partition the record array into blocks of ~``block_bytes`` each.
+
+        Greedy layout: a block closes with the first record that pushes its
+        cumulative size to ``block_bytes``.  Record sizes are strictly
+        positive, so the size prefix is strictly increasing and each cut
+        point is a single ``bisect`` instead of a per-record Python loop —
+        same blocks, O(blocks log n).
+        """
+        prefix = self._size_prefix
         starts: List[int] = []
         sizes: List[int] = []
-        current_size = 0
-        for index, size in enumerate(record_sizes):
-            if current_size == 0:
-                starts.append(index)
-            current_size += size
-            if current_size >= block_bytes:
-                sizes.append(current_size)
-                current_size = 0
-        if current_size > 0:
-            sizes.append(current_size)
+        push_start = starts.append
+        push_size = sizes.append
+        n = len(prefix) - 1
+        index = 0
+        while index < n:
+            push_start(index)
+            threshold = prefix[index] + block_bytes
+            stop = bisect_left(prefix, threshold, index + 1)
+            if stop > n:
+                stop = n
+            push_size(prefix[stop] - prefix[index])
+            index = stop
         return starts, sizes
 
     # ------------------------------------------------------------------
@@ -261,6 +286,31 @@ class SSTable:
     def records(self) -> Sequence[KVRecord]:
         """Read-only view of all records (test and merge helper)."""
         return self._records
+
+    @property
+    def seqs(self) -> List[int]:
+        """The sequence-number column, materialised on first use.
+
+        Compaction and flush outputs arrive with the column prebuilt (the
+        columnar merge emits it); only files built from raw record lists
+        (tests, recovery) pay the one-off extraction here.
+        """
+        column = self._seqs
+        if column is None:
+            column = self._seqs = list(map(_record_seq, self._records))
+        return column
+
+    def columns_window(self) -> tuple:
+        """The whole file as a columnar merge window.
+
+        Returns ``(keys, records, seqs, sizes, start, stop)`` — the
+        parallel column arrays plus the half-open index window — the input
+        representation of :func:`repro.lsm.compaction.columnar.
+        merge_windows`.  The arrays are the file's own immutable columns;
+        callers must not mutate them.
+        """
+        records = self._records
+        return (self._keys, records, self.seqs, self._sizes, 0, len(records))
 
     def covers_key(self, key: bytes) -> bool:
         return self.min_key <= key <= self.max_key

@@ -28,7 +28,7 @@ from __future__ import annotations
 import zlib
 from typing import List
 
-from .record import KVRecord
+from .record import KVRecord, RECORD_OVERHEAD_BYTES
 from ..errors import CorruptionError, SimulatedCrash
 from ..ssd.device import SimulatedSSD
 from ..ssd.metrics import WAL_READ, WAL_WRITE
@@ -58,13 +58,47 @@ class WriteAheadLog:
         self._device = device
         self._units: List[_Unit] = []
         self._bytes = 0
+        # Per-put fast path: on the plain simulated device an append is a
+        # straight-line cost formula plus three counter bumps, so the
+        # write-cost/charge/record call chain can be fused.  Fault
+        # injection (crashes, torn tails) lives in FaultyDevice, which is
+        # not a SimulatedSSD subclass — the fused path never skips it.
+        if type(device) is SimulatedSSD:
+            profile = device.profile
+            self._seq_overhead = (
+                profile.write_overhead_us * profile.sequential_discount
+            )
+            self._per_byte = profile.write_us_per_byte
+            self._write_stats = device.stats._stream(
+                device.stats.writes, "write", WAL_WRITE
+            )
+        else:
+            self._write_stats = None
 
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
     def append(self, record: KVRecord) -> float:
         """Log one mutation; returns the virtual time charged (µs)."""
-        return self._append_unit([record], record.encoded_size)
+        nbytes = len(record[0]) + len(record[3]) + RECORD_OVERHEAD_BYTES
+        device = self._device
+        stats = self._write_stats
+        if (
+            stats is None
+            or device.channel is not None
+            or device.tracer.active
+        ):
+            return self._append_unit([record], nbytes)
+        # Fused plain-device append: identical charge expression and
+        # counter updates to SimulatedSSD.write, one call deep.
+        unit = _Unit([record], nbytes)
+        self._units.append(unit)
+        self._bytes += nbytes
+        elapsed = self._seq_overhead + nbytes * self._per_byte
+        device.clock.advance_io(elapsed, nbytes)
+        stats.record(nbytes, elapsed)
+        unit.complete = True
+        return elapsed
 
     def append_batch(self, records: List[KVRecord], total_bytes: int) -> float:
         """Log a whole batch as one sequential write (WriteBatch path).

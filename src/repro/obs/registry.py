@@ -47,6 +47,19 @@ class MetricsRegistry:
         counters = self._counters
         counters[key] = counters.get(key, 0) + amount
 
+    def add_many(self, items: "list[tuple[str, Number]]") -> None:
+        """Bulk-increment counters from ``(key, amount)`` pairs.
+
+        One call for a batch of prebuilt-key increments (the batched
+        device accounting path); identical to calling :meth:`add` per
+        pair, including the left-to-right accumulation order for float
+        counters.
+        """
+        counters = self._counters
+        get = counters.get
+        for key, amount in items:
+            counters[key] = get(key, 0) + amount
+
     def set_counter(self, key: str, value: Number) -> None:
         """Overwrite counter ``key`` (used by the legacy-view setters)."""
         self._counters[key] = value

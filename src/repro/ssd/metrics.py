@@ -105,6 +105,26 @@ class CategoryStats:
         counters[self._bytes_key] = counters.get(self._bytes_key, 0) + nbytes
         counters[self._time_key] = counters.get(self._time_key, 0) + elapsed_us
 
+    def record_many(
+        self, run_sizes: "list[int]", elapsed_runs: "list[float]"
+    ) -> None:
+        """Record a batch of same-category I/Os with one counter update.
+
+        Counter-identical to calling :meth:`record` once per run: ops and
+        bytes are integer sums, and the float time counter is accumulated
+        left-to-right over the individual elapsed values — replaying the
+        exact (non-associative) addition order of the per-run path.
+        """
+        counters = self.registry._counters
+        counters[self._ops_key] = counters.get(self._ops_key, 0) + len(run_sizes)
+        counters[self._bytes_key] = (
+            counters.get(self._bytes_key, 0) + sum(run_sizes)
+        )
+        time_total = counters.get(self._time_key, 0)
+        for elapsed in elapsed_runs:
+            time_total += elapsed
+        counters[self._time_key] = time_total
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"CategoryStats(ops={self.ops}, bytes={self.bytes}, "
@@ -136,6 +156,14 @@ class IOStats:
 
     def record_read(self, category: str, nbytes: int, elapsed_us: float) -> None:
         self._stream(self.reads, "read", category).record(nbytes, elapsed_us)
+
+    def record_read_many(
+        self, category: str, run_sizes: "list[int]", elapsed_runs: "list[float]"
+    ) -> None:
+        """Bulk-record a batch of reads (see CategoryStats.record_many)."""
+        self._stream(self.reads, "read", category).record_many(
+            run_sizes, elapsed_runs
+        )
 
     def record_write(self, category: str, nbytes: int, elapsed_us: float) -> None:
         self._stream(self.writes, "write", category).record(nbytes, elapsed_us)

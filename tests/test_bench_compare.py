@@ -149,3 +149,93 @@ class TestRunCli:
         out = capsys.readouterr().out
         assert "run" in out.splitlines()
         assert "shard_scaling" in out
+
+
+class TestUnknownBenchmark:
+    """``--only`` with a bad name: typed error, helpful CLI message."""
+
+    def test_run_bench_raises_typed_error(self) -> None:
+        from repro.errors import UnknownBenchmarkError
+        from repro.harness.bench import BENCHMARKS, TIER2_BENCHMARKS, run_bench
+
+        with pytest.raises(UnknownBenchmarkError) as excinfo:
+            run_bench(names=["bloom_probe", "nope", "also_nope"])
+        err = excinfo.value
+        assert err.name == "nope"
+        assert err.unknown == ("nope", "also_nope")
+        assert err.known == tuple(sorted({**BENCHMARKS, **TIER2_BENCHMARKS}))
+        assert "paper_scale" in err.known
+
+    def test_is_config_error(self) -> None:
+        from repro.errors import ConfigError, UnknownBenchmarkError
+
+        assert issubclass(UnknownBenchmarkError, ConfigError)
+
+    def test_cli_exits_two_with_known_names(self, tmp_path, capsys) -> None:
+        assert main(
+            ["bench", "--only", "nope", "--bench-out", str(tmp_path)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "'nope'" in err
+        assert "fillrandom" in err
+
+
+class TestBenchHistory:
+    """``bench --history``: the perf-trajectory table over baselines."""
+
+    def _write(self, tmp_path, pr, **ops_per_sec):
+        report = _report(**ops_per_sec)
+        path = tmp_path / f"BENCH_pr{pr}.json"
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_table_ordered_by_pr_number(self, tmp_path, capsys) -> None:
+        self._write(tmp_path, 10, fillrandom=400.0)
+        self._write(tmp_path, 2, fillrandom=100.0)
+        self._write(tmp_path, 7, fillrandom=200.0)
+        assert main(["bench", "--history", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines() if line.startswith("| pr")]
+        assert [row.split()[1] for row in rows] == ["pr2", "pr7", "pr10"]
+        # Trajectory column is relative to the first report's fillrandom.
+        assert "4.00x" in rows[-1]
+        assert "1.00x" in rows[0]
+
+    def test_missing_benchmark_shows_dash(self, tmp_path, capsys) -> None:
+        self._write(tmp_path, 1, fillrandom=100.0)
+        self._write(tmp_path, 2, fillrandom=150.0, readrandom=80.0)
+        assert main(["bench", "--history", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        first_row = next(l for l in out.splitlines() if l.startswith("| pr1 "))
+        assert "—" in first_row
+
+    def test_no_reports_exits_two(self, tmp_path, capsys) -> None:
+        assert main(["bench", "--history", str(tmp_path)]) == 2
+        assert "no BENCH_pr" in capsys.readouterr().err
+
+    def test_unreadable_dir_exits_two(self, tmp_path, capsys) -> None:
+        assert main(["bench", "--history", str(tmp_path / "nope")]) == 2
+
+    def test_corrupt_report_skipped(self, tmp_path, capsys) -> None:
+        self._write(tmp_path, 1, fillrandom=100.0)
+        (tmp_path / "BENCH_pr2.json").write_text("{not json")
+        assert main(["bench", "--history", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "| pr1 " in out
+        assert "| pr2 " not in out
+
+
+class TestBenchExtras:
+    def test_readrandom_reports_block_cache_hit_rate(self) -> None:
+        from repro.harness.bench import bench_readrandom
+
+        result = bench_readrandom(quick=True)
+        rate = result.extra["block_cache_hit_rate"]
+        assert 0.0 <= rate <= 1.0
+
+    def test_paper_scale_ops_env_override(self, monkeypatch) -> None:
+        from repro.harness.bench import bench_paper_scale
+
+        monkeypatch.setenv("REPRO_PAPER_SCALE_OPS", "500")
+        result = bench_paper_scale()
+        assert result.ops == 1_000  # fill + read phases

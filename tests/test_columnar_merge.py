@@ -1,0 +1,174 @@
+"""Randomized equivalence: columnar galloping merge vs the legacy merge.
+
+The legacy compaction merge pooled every input record, sorted the pool
+(``KVRecord`` tuples order by ``(key, seq, ...)``) and deduplicated
+through a dict keyed by user key — last insertion wins, which with
+ascending ``(key, seq)`` order means the highest sequence number
+survives.  :func:`repro.lsm.compaction.columnar.merge_windows` must
+produce exactly that stream, as parallel columns, for every input shape:
+disjoint runs, interleaved runs, heavy cross-stream key collisions, and
+windows that view only an inner ``[start, stop)`` range of their source
+columns.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.lsm.compaction.columnar import merge_windows
+from repro.lsm.record import KIND_DELETE, KIND_PUT, KVRecord
+from repro.lsm.sstable import SSTable
+
+
+def legacy_merge(windows):
+    """The pre-columnar merge: pool, sort, dict-dedup (newest wins)."""
+    pooled = []
+    for keys, records, seqs, sizes, start, stop in windows:
+        pooled.extend(records[start:stop])
+    pooled.sort()
+    deduped = {record[0]: record for record in pooled}
+    return list(deduped.values())
+
+
+def columns_for(records):
+    """Build a full-width window over a key-sorted record list."""
+    keys = [record.key for record in records]
+    seqs = [record.seq for record in records]
+    sizes = [record.encoded_size for record in records]
+    return keys, records, seqs, sizes, 0, len(records)
+
+
+def random_streams(rng, nstreams, universe, max_len):
+    """Key-sorted streams with unique keys per stream, unique seqs globally."""
+    seq = 0
+    streams = []
+    for _ in range(nstreams):
+        count = rng.randrange(max_len + 1)
+        keys = sorted(rng.sample(universe, min(count, len(universe))))
+        records = []
+        for key in keys:
+            seq += 1
+            kind = KIND_DELETE if rng.random() < 0.15 else KIND_PUT
+            value = b"" if kind == KIND_DELETE else rng.randbytes(rng.randrange(12))
+            records.append(KVRecord(key, seq, kind, value))
+        streams.append(records)
+    return streams
+
+
+def assert_matches_legacy(windows):
+    expected = legacy_merge(windows)
+    keys, records, seqs, sizes = merge_windows(windows)
+    assert records == expected
+    assert keys == [record.key for record in expected]
+    assert seqs == [record.seq for record in expected]
+    assert sizes == [record.encoded_size for record in expected]
+
+
+class TestMergeWindows:
+    def test_empty_input(self):
+        assert merge_windows([]) == ([], [], [], [])
+
+    def test_all_windows_empty(self):
+        empty = columns_for([])
+        assert merge_windows([empty, empty]) == ([], [], [], [])
+
+    def test_single_stream_passthrough(self):
+        records = [
+            KVRecord(b"a", 1, KIND_PUT, b"x"),
+            KVRecord(b"b", 2, KIND_DELETE, b""),
+            KVRecord(b"c", 3, KIND_PUT, b"y"),
+        ]
+        assert_matches_legacy([columns_for(records)])
+
+    def test_newest_wins_on_collision(self):
+        old = [KVRecord(b"k", 1, KIND_PUT, b"old")]
+        new = [KVRecord(b"k", 9, KIND_DELETE, b"")]
+        keys, records, seqs, sizes = merge_windows(
+            [columns_for(old), columns_for(new)]
+        )
+        assert records == new
+        assert seqs == [9]
+
+    def test_every_stream_holds_every_key(self):
+        # Maximal collision pressure: no galloping possible, every output
+        # record goes through the tie-resolution path.
+        rng = random.Random(7)
+        universe = [b"k%03d" % index for index in range(40)]
+        windows = []
+        seq = 0
+        for _ in range(5):
+            records = []
+            for key in universe:
+                seq += 1
+                records.append(KVRecord(key, seq, KIND_PUT, b"v%d" % seq))
+            rng.shuffle(records)
+            records.sort(key=lambda record: record.key)
+            windows.append(columns_for(records))
+        assert_matches_legacy(windows)
+
+    def test_disjoint_runs_gallop(self):
+        # Fully disjoint key ranges: the merge should reduce to bulk
+        # copies, and still match the legacy stream exactly.
+        streams = [
+            [KVRecord(b"a%02d" % index, index + 1, KIND_PUT, b"") for index in range(20)],
+            [KVRecord(b"b%02d" % index, index + 100, KIND_PUT, b"") for index in range(20)],
+            [KVRecord(b"c%02d" % index, index + 200, KIND_PUT, b"") for index in range(20)],
+        ]
+        assert_matches_legacy([columns_for(records) for records in streams])
+
+    def test_window_offsets_respected(self):
+        # A window over [start, stop) must ignore records outside it —
+        # the LDC slice view case.
+        records = [
+            KVRecord(b"k%02d" % index, index + 1, KIND_PUT, b"v")
+            for index in range(10)
+        ]
+        keys, _, seqs, sizes, _, _ = columns_for(records)
+        window = (keys, records, seqs, sizes, 3, 7)
+        merged_keys, merged_records, merged_seqs, _ = merge_windows([window])
+        assert merged_records == records[3:7]
+        assert merged_keys == keys[3:7]
+        assert merged_seqs == seqs[3:7]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_equivalence(self, seed):
+        rng = random.Random(seed)
+        universe = [b"key-%04d" % index for index in range(rng.choice([15, 60, 300]))]
+        streams = random_streams(
+            rng,
+            nstreams=rng.randrange(1, 7),
+            universe=universe,
+            max_len=rng.choice([5, 40, 150]),
+        )
+        assert_matches_legacy([columns_for(records) for records in streams])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_with_offset_windows(self, seed):
+        rng = random.Random(1000 + seed)
+        universe = [b"key-%04d" % index for index in range(80)]
+        streams = random_streams(rng, nstreams=4, universe=universe, max_len=60)
+        windows = []
+        for records in streams:
+            keys, _, seqs, sizes, _, stop = columns_for(records)
+            start = rng.randrange(stop + 1)
+            end = rng.randrange(start, stop + 1)
+            windows.append((keys, records, seqs, sizes, start, end))
+        assert_matches_legacy(windows)
+
+    def test_sstable_windows_roundtrip(self):
+        # End-to-end over real SSTable column windows.
+        rng = random.Random(42)
+        universe = [b"key-%04d" % index for index in range(120)]
+        streams = [
+            records
+            for records in random_streams(rng, nstreams=3, universe=universe, max_len=80)
+            if records
+        ]
+        tables = [
+            SSTable(file_id, records, block_bytes=256, bloom_bits_per_key=8)
+            for file_id, records in enumerate(streams, start=1)
+        ]
+        windows = [table.columns_window() for table in tables]
+        assert_matches_legacy(windows)

@@ -212,3 +212,104 @@ class TestLatencyTimeline:
             timeline.record(timestamp, 1.0)
         starts = [point.start_us for point in timeline.points()]
         assert starts == sorted(starts)
+
+
+class TestSampledShardMerge:
+    """Sampling composed with shard aggregation.
+
+    Each shard records with ``sample_stride``/``max_samples`` against its
+    own virtual clock; the aggregate view merges the recorders
+    (``merge_from``) and the Fig. 1 timelines (``LatencyTimeline.merge``).
+    The merged sampled percentiles must stay within one histogram
+    log-bucket of the exact whole-population percentiles.
+    """
+
+    NUM_SHARDS = 4
+
+    def _shard_streams(self, per_shard=6_000):
+        import random
+
+        streams = []
+        for shard in range(self.NUM_SHARDS):
+            rng = random.Random(97 + shard)
+            # Distinct per-shard scale so merging actually mixes shapes.
+            sigma = 0.8 + 0.15 * shard
+            streams.append(
+                [rng.lognormvariate(3.0 + 0.2 * shard, sigma) for _ in range(per_shard)]
+            )
+        return streams
+
+    def test_merged_sampled_percentiles_within_one_bucket(self):
+        streams = self._shard_streams()
+        merged = LatencyRecorder(sample_stride=50, max_samples=500)
+        exact_population = []
+        for stream in streams:
+            shard = LatencyRecorder(sample_stride=50, max_samples=500)
+            # Chunked recording, like the runner's chunk loop.
+            for start in range(0, len(stream), 1024):
+                shard.record_many(stream[start : start + 1024])
+            merged.merge_from(shard)
+            exact_population.extend(stream)
+        exact = LatencyRecorder()
+        exact.record_many(exact_population)
+        assert merged.is_sampled
+        assert len(merged) == len(exact_population)
+        histogram = merged.histogram
+        for pct in (50.0, 90.0, 99.0, 99.9):
+            reference = exact.percentile(pct)
+            estimate = merged.percentile(pct)
+            # Within one log bucket: the bucket holding the estimate is
+            # at most one index away from the bucket holding the truth.
+            delta = abs(
+                histogram.bucket_index(estimate) - histogram.bucket_index(reference)
+            )
+            assert delta <= 1, (pct, reference, estimate)
+            tolerance = histogram.growth - 1.0
+            assert abs(estimate - reference) <= tolerance * reference + 1e-9
+
+    def test_merged_streamed_aggregates_stay_exact(self):
+        streams = self._shard_streams(per_shard=2_000)
+        merged = LatencyRecorder(sample_stride=13, max_samples=100)
+        population = []
+        for stream in streams:
+            shard = LatencyRecorder(sample_stride=13, max_samples=100)
+            shard.record_many(stream)
+            merged.merge_from(shard)
+            population.extend(stream)
+        # Count/min/max are streamed, never sampled: exact after merging.
+        assert len(merged) == len(population)
+        assert merged.maximum() == max(population)
+        assert merged.minimum() == min(population)
+        assert merged.sample_count <= self.NUM_SHARDS * 100
+
+    def test_timeline_merge_composes_with_sampling(self):
+        streams = self._shard_streams(per_shard=3_000)
+        bucket_us = 1_000.0
+        merged_timeline = LatencyTimeline(bucket_us=bucket_us)
+        merged_recorder = LatencyRecorder(sample_stride=25, max_samples=300)
+        reference_timeline = LatencyTimeline(bucket_us=bucket_us)
+        for stream in streams:
+            shard_timeline = LatencyTimeline(bucket_us=bucket_us)
+            shard_recorder = LatencyRecorder(sample_stride=25, max_samples=300)
+            now = 0.0  # independent virtual clock per shard
+            for value in stream:
+                shard_timeline.record(now, value)
+                reference_timeline.record(now, value)
+                now += value
+            shard_recorder.record_many(stream)
+            merged_timeline.merge(shard_timeline)
+            merged_recorder.merge_from(shard_recorder)
+        merged_points = merged_timeline.points()
+        reference_points = reference_timeline.points()
+        # The merged timeline is bucket-wise identical to recording every
+        # shard's (timestamp, latency) stream into one timeline.
+        assert len(merged_points) == len(reference_points)
+        for got, want in zip(merged_points, reference_points):
+            assert got.start_us == want.start_us
+            assert got.count == want.count
+            assert got.max_latency_us == want.max_latency_us
+            assert got.mean_latency_us == pytest.approx(want.mean_latency_us)
+        # Timeline totals agree with the (exact) streamed recorder count,
+        # even though the recorder's stored samples are heavily thinned.
+        assert sum(point.count for point in merged_points) == len(merged_recorder)
+        assert merged_recorder.is_sampled

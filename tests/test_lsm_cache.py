@@ -244,3 +244,43 @@ class TestCacheInEngine:
         # Second identical scan should add hits, not misses.
         assert db.block_cache.misses == first_misses
         assert db.block_cache.hits > 0
+
+
+class TestEvictionCounters:
+    """``cache.evictions`` / ``cache.evicted_bytes``: lazy, LRU-only."""
+
+    def test_counters_absent_until_first_eviction(self):
+        cache = BlockCache(300)
+        cache.insert(1, 0, 100)
+        cache.insert(1, 1, 100)
+        cache.lookup(1, 0)
+        # No capacity pressure yet: the keys must not exist (the batched
+        # fingerprint suite hashes every registry counter).
+        assert "cache.evictions" not in cache.registry.counters()
+        assert "cache.evicted_bytes" not in cache.registry.counters()
+        assert cache.evictions == 0 and cache.evicted_bytes == 0
+
+    def test_lru_eviction_counted(self):
+        cache = BlockCache(300)
+        cache.insert(1, 0, 100)
+        cache.insert(1, 1, 100)
+        cache.insert(1, 2, 250)  # 450 used: evicts (1,0) then (1,1)
+        assert cache.evictions == 2
+        assert cache.evicted_bytes == 200
+        assert "cache.evictions" in cache.registry.counters()
+
+    def test_evict_file_not_counted(self):
+        cache = BlockCache(1024)
+        cache.insert(1, 0, 100)
+        cache.insert(2, 0, 100)
+        cache.evict_file(1)
+        assert "cache.evictions" not in cache.registry.counters()
+        assert cache.evictions == 0
+
+    def test_counters_reset_with_registry(self):
+        cache = BlockCache(150)
+        cache.insert(1, 0, 100)
+        cache.insert(1, 1, 100)  # evicts (1,0)
+        assert cache.evictions == 1
+        cache.registry.reset()
+        assert cache.evictions == 0 and cache.evicted_bytes == 0
