@@ -4,70 +4,128 @@
 The paper's third contribution claims LDC "lengthen[s] the lifetimes of
 SSDs significantly by cutting down the compaction I/Os by about 50%".
 Flash cells tolerate a bounded number of program/erase cycles (the paper
-cites 5,000–10,000), so device lifetime is inversely proportional to the
-bytes physically written.
+cites 5,000-10,000), so device lifetime is inversely proportional to the
+bytes physically written — and since the FTL's own garbage collection
+amplifies host writes again below the file system, what actually ages
+the device is *total* write amplification: host WA x device WA.
 
-This example ingests the same update-heavy stream under UDC and LDC,
-reads the device's wear counter, and projects the lifetime of a small
-simulated SSD under a sustained version of the workload.
+This example mounts the real flash model (``repro.ssd.flash``: page
+mapping, log-structured allocation, GC, per-block erase counts) under
+both policies, ingests the same update-heavy stream, and reads the
+measured erase counters instead of a host-side proxy:
+
+* ``device WA``     — flash pages programmed / host bytes written,
+* ``total WA``      — host WA x device WA (user byte -> flash program),
+* ``blocks erased`` / ``max erase`` — the wear the projection rests on.
+
+The device is sized from a flash-off probe of the UDC run so both
+policies see identical slack (see docs/DEVICE.md on why capacity, not
+policy, dominates device WA when the geometry is too tight).
 
 Run:  python examples/ssd_endurance.py
 """
 
 import numpy as np
 
-from repro import DB, LDCPolicy, LeveledCompaction, LSMConfig
+from repro import DB, DeviceConfig, FlashSpec, LSMConfig
 
 NUM_OPS = 60_000
 KEY_SPACE = 25_000
 VALUE_BYTES = 1024
 
-# Projection parameters for the lifetime estimate.
-DEVICE_CAPACITY_GIB = 8.0
+#: Device capacity = probe footprint x this margin (same calibration as
+#: repro.harness.experiments.fig_device_wa).
+SIZE_MARGIN = 3.0
+OVER_PROVISIONING = 0.07  # 7% hidden blocks, the enterprise default
 PE_CYCLES = 5_000  # conservative end of the paper's 5k-10k range
 
 
-def ingest(policy: object) -> DB:
-    db = DB(config=LSMConfig(), policy=policy)
+def ingest(policy: str, profile=None, *, num_ops, key_space, value_bytes) -> DB:
+    kwargs = {"profile": profile} if profile is not None else {}
+    db = DB(config=LSMConfig(), policy=policy, **kwargs)
     rng = np.random.default_rng(7)
-    value = b"x" * VALUE_BYTES
-    for _ in range(NUM_OPS):
-        key = str(int(rng.integers(0, KEY_SPACE))).zfill(16).encode()
+    value = b"x" * value_bytes
+    for _ in range(num_ops):
+        key = str(int(rng.integers(0, key_space))).zfill(16).encode()
         db.put(key, value)
     return db
 
 
-def main() -> None:
-    print(f"ingesting {NUM_OPS:,} updates of {VALUE_BYTES} B over {KEY_SPACE:,} keys\n")
+def run(num_ops=NUM_OPS, key_space=KEY_SPACE, value_bytes=VALUE_BYTES):
+    """Size the device, ingest under UDC and LDC, return measured rows."""
+    probe = ingest(
+        "udc", num_ops=num_ops, key_space=key_space, value_bytes=value_bytes
+    )
+    space = probe.version.total_file_bytes() + probe.policy.extra_space_bytes()
+    flash = FlashSpec(
+        logical_bytes=max(int(space * SIZE_MARGIN), 1 << 20),
+        over_provisioning=OVER_PROVISIONING,
+    )
     rows = []
-    for name, policy in (("UDC", LeveledCompaction()), ("LDC", LDCPolicy())):
-        db = ingest(policy)
-        user_bytes = db.engine_stats.user_bytes_written
-        wear = db.device.wear_bytes
-        rows.append((name, user_bytes, wear, db.write_amplification()))
-
-    total_endurance_bytes = DEVICE_CAPACITY_GIB * 2**30 * PE_CYCLES
-    print(
-        f"{'policy':<8} {'user data':>12} {'flash writes':>13} "
-        f"{'write amp':>10} {'projected lifetime*':>20}"
-    )
-    print("-" * 68)
-    baseline_wear = rows[0][2]
-    for name, user_bytes, wear, amp in rows:
-        # Lifetime under sustained ingest at this amplification.
-        lifetime_units = total_endurance_bytes / wear
-        print(
-            f"{name:<8} {user_bytes / 2**20:>10.1f}Mi {wear / 2**20:>11.1f}Mi "
-            f"{amp:>10.2f} {lifetime_units:>14.0f} runs"
+    for name in ("udc", "ldc"):
+        db = ingest(
+            name,
+            DeviceConfig(flash=flash),
+            num_ops=num_ops,
+            key_space=key_space,
+            value_bytes=value_bytes,
         )
-    udc_wear, ldc_wear = rows[0][2], rows[1][2]
+        snap = db.metrics()
+        rows.append(
+            {
+                "policy": name.upper(),
+                "user_bytes": db.engine_stats.user_bytes_written,
+                "host_bytes": snap.host_bytes_written,
+                "programmed_bytes": snap.flash_bytes_programmed,
+                "host_wa": snap.write_amplification,
+                "device_wa": snap.device_write_amplification,
+                "total_wa": snap.total_write_amplification,
+                "blocks_erased": snap.blocks_erased,
+                "max_erase": snap.max_erase_count,
+            }
+        )
+    return flash, rows
+
+
+def main(num_ops=NUM_OPS, key_space=KEY_SPACE, value_bytes=VALUE_BYTES) -> None:
     print(
-        f"\n* lifetime of a {DEVICE_CAPACITY_GIB:.0f} GiB device rated for "
-        f"{PE_CYCLES:,} P/E cycles, in repetitions of this ingest."
+        f"ingesting {num_ops:,} updates of {value_bytes} B over "
+        f"{key_space:,} keys\n"
+    )
+    flash, rows = run(num_ops, key_space, value_bytes)
+    print(
+        f"flash geometry: {flash.physical_bytes / 2**20:.1f} MiB physical "
+        f"({flash.total_blocks} blocks x {flash.block_bytes // 1024} KiB), "
+        f"OP {flash.over_provisioning:.0%}, GC {flash.gc_policy}\n"
     )
     print(
-        f"LDC writes {100 * (1 - ldc_wear / udc_wear):.0f}% less to flash, i.e. the "
-        f"device lasts {udc_wear / ldc_wear:.2f}x longer under this workload."
+        f"{'policy':<8} {'user data':>11} {'flash writes':>13} "
+        f"{'host WA':>8} {'device WA':>10} {'total WA':>9} "
+        f"{'erases':>7} {'max P/E':>8} {'lifetime*':>10}"
+    )
+    print("-" * 92)
+    for row in rows:
+        # Wear-limited lifetime: the hottest block hits the P/E rating
+        # after PE_CYCLES / max_erase repetitions of this ingest.
+        lifetime = PE_CYCLES / max(row["max_erase"], 1)
+        print(
+            f"{row['policy']:<8} {row['user_bytes'] / 2**20:>9.1f}Mi "
+            f"{row['programmed_bytes'] / 2**20:>11.1f}Mi "
+            f"{row['host_wa']:>8.2f} {row['device_wa']:>10.2f} "
+            f"{row['total_wa']:>9.2f} {row['blocks_erased']:>7} "
+            f"{row['max_erase']:>8} {lifetime:>5.0f} runs"
+        )
+    udc, ldc = rows
+    print(
+        f"\n* repetitions of this ingest before the hottest block exhausts "
+        f"{PE_CYCLES:,} P/E cycles."
+    )
+    print(
+        f"LDC programs {100 * (1 - ldc['programmed_bytes'] / udc['programmed_bytes']):.0f}% "
+        f"less flash than UDC (total WA {ldc['total_wa']:.2f} vs "
+        f"{udc['total_wa']:.2f}), so the device lasts "
+        f"{udc['programmed_bytes'] / ldc['programmed_bytes']:.2f}x longer "
+        f"under this workload."
     )
 
 

@@ -24,6 +24,11 @@ The library provides:
   chunked background work units sharing device bandwidth with the
   foreground, and writes observe LevelDB-style L0 slowdown/stop
   throttling (docs/SCHEDULING.md);
+* :mod:`repro.ssd.flash` — an opt-in page/block flash device model
+  (FTL mapping, log-structured allocation, garbage collection, wear
+  tracking): ``DB(profile=DeviceConfig(flash=FlashSpec(...)))`` makes
+  device-level write amplification and erase counts measurable end to
+  end (docs/DEVICE.md);
 * :mod:`repro.obs` — the observability layer: structured event tracing
   (:class:`~repro.obs.tracer.Tracer` with ring-buffer and JSON-lines
   sinks), the metrics registry behind every counter, frozen diffable
@@ -90,6 +95,9 @@ from .ssd import (
     ENTERPRISE_PCIE,
     HDD,
     SATA_SSD,
+    DeviceConfig,
+    FlashSpec,
+    FlashTranslationLayer,
     SimClock,
     SimulatedSSD,
     SSDProfile,
@@ -128,6 +136,9 @@ __all__ = [
     "SimClock",
     "SimulatedSSD",
     "SSDProfile",
+    "DeviceConfig",
+    "FlashSpec",
+    "FlashTranslationLayer",
     "get_profile",
     "ENTERPRISE_PCIE",
     "SATA_SSD",

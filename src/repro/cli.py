@@ -13,7 +13,11 @@ Usage::
     python -m repro run RWB --bg-threads 2 --slowdown-l0 8 --stop-l0 12
     python -m repro fig01s --ops 12000              # scheduled interference
     python -m repro crashtest --policy ldc --every 25   # crash-consistency sweep
+    python -m repro crashtest --policy ldc --flash      # crash inside GC too
+    python -m repro run RWB --flash                 # FTL/GC device layer on
+    python -m repro fig_device_wa --ops 20000       # host/device/total WA
     python -m repro explore --policies udc,ldc,lazy_leveling --mixes RWB
+    python -m repro explore --flash                 # device-WA winner columns
     python -m repro explore --report-out REPORT_design_space.md
 
 The heavy lifting lives in :mod:`repro.harness.experiments`; this module
@@ -36,6 +40,7 @@ from .errors import UnknownBenchmarkError, UnknownPolicyError
 from .harness import experiments
 from .harness.report import format_table, mib
 from .lsm.compaction.spec import resolve_factory
+from .ssd.flash import DeviceConfig, FlashSpec
 from .obs import (
     EV_CACHE_HIT,
     EV_CACHE_MISS,
@@ -268,6 +273,33 @@ def run_trace(
     return 0
 
 
+def _build_flash_spec(
+    over_provisioning: float,
+    gc_policy: str,
+    logical_mib: Optional[float],
+    probe_space_bytes: Optional[int] = None,
+) -> FlashSpec:
+    """Build the CLI's flash geometry.
+
+    An explicit ``--flash-logical-mib`` wins; otherwise the logical
+    capacity is auto-sized from a flash-off probe's final store size at
+    the same margin ``fig_device_wa`` uses, so GC pressure reflects the
+    policy's write pattern rather than capacity starvation.
+    """
+    if logical_mib is not None:
+        logical_bytes = max(int(logical_mib * 2**20), 1 << 20)
+    else:
+        assert probe_space_bytes is not None
+        logical_bytes = max(
+            int(probe_space_bytes * experiments.DEVICE_WA_SIZE_MARGIN), 1 << 20
+        )
+    return FlashSpec(
+        logical_bytes=logical_bytes,
+        over_provisioning=over_provisioning,
+        gc_policy=gc_policy,
+    )
+
+
 def run_sharded_cli(
     workload: Optional[str],
     policy: str,
@@ -279,12 +311,18 @@ def run_sharded_cli(
     bg_threads: int = 0,
     slowdown_l0: Optional[int] = None,
     stop_l0: Optional[int] = None,
+    flash: bool = False,
+    flash_op: float = 0.07,
+    flash_gc: str = "greedy",
+    flash_logical_mib: Optional[float] = None,
 ) -> int:
     """Run one Table III workload across a sharded engine and report it.
 
     ``bg_threads >= 1`` turns on the virtual-time compaction scheduler
     per shard; ``slowdown_l0``/``stop_l0`` override the L0 write-throttle
-    thresholds (docs/SCHEDULING.md).
+    thresholds (docs/SCHEDULING.md).  ``flash=True`` mounts the page/block
+    FTL layer (docs/DEVICE.md) under every shard's device and adds the
+    device/total write-amplification rows to the report.
     """
     from .shard.runner import run_sharded_workload
     from .workload.spec import TABLE_III
@@ -304,7 +342,29 @@ def run_sharded_cli(
     if stop_l0 is not None:
         overrides["l0_stop_trigger"] = stop_l0
     spec = spec_factory(num_operations=ops, key_space=keys)
+    profile: object = None
     try:
+        if flash:
+            probe_space: Optional[int] = None
+            if flash_logical_mib is None:
+                probe = experiments.run_workload(
+                    spec,
+                    policy_factory,
+                    config=experiments.experiment_config(**overrides),
+                )
+                probe_space = probe.space_bytes
+            flash_spec = _build_flash_spec(
+                flash_op, flash_gc, flash_logical_mib, probe_space
+            )
+            profile = DeviceConfig(flash=flash_spec)
+            print(
+                f"flash: {flash_spec.logical_bytes / 2**20:.1f} MiB logical "
+                f"per shard, OP={flash_spec.over_provisioning:.0%}, "
+                f"gc={flash_spec.gc_policy}"
+            )
+        kwargs: Dict[str, object] = {}
+        if profile is not None:
+            kwargs["profile"] = profile
         report = run_sharded_workload(
             spec,
             policy_factory,
@@ -312,8 +372,9 @@ def run_sharded_cli(
             partitioner=partitioner,
             workers=workers,
             config=experiments.experiment_config(**overrides),
+            **kwargs,
         )
-    except Exception as exc:  # ConfigError: bad shard/partitioner combo
+    except Exception as exc:  # ConfigError: bad shard/partitioner/flash combo
         print(str(exc), file=sys.stderr)
         return 2
     print(
@@ -330,6 +391,15 @@ def run_sharded_cli(
         ("p99.9 latency us", round(report.latencies.percentile(99.9), 1)),
         ("wall seconds", round(report.wall_s, 3)),
     ]
+    if flash:
+        highlights.extend(
+            [
+                ("device write amp", round(report.device_write_amplification, 3)),
+                ("total write amp", round(report.total_write_amplification, 2)),
+                ("gc write MiB", round(mib(snap.gc_write_bytes), 2)),
+                ("blocks erased", snap.blocks_erased),
+            ]
+        )
     if bg_threads >= 1:
         counters = snap.counters
         highlights.extend(
@@ -377,6 +447,7 @@ def run_crashtest_cli(
     seed: int,
     value_bytes: int,
     corrupt: int,
+    flash: bool = False,
 ) -> int:
     """Crash-point enumeration + corruption sweep (``repro crashtest``).
 
@@ -384,7 +455,9 @@ def run_crashtest_cli(
     ``every``-th charged I/O, recovering, and checking the
     durability/atomicity oracle at each point; then seeds ``corrupt``
     read corruptions and requires all of them to be detected via CRC.
-    Exit status 0 only when both passes hold.
+    ``flash=True`` mounts a deliberately tiny FTL geometry under the
+    store so crash points land inside GC relocations too.  Exit status 0
+    only when both passes hold.
     """
     from .faults import crashtest
 
@@ -405,6 +478,7 @@ def run_crashtest_cli(
         seed=seed,
         stride=every,
         shards=shards,
+        flash=crashtest.CRASHTEST_FLASH_SPEC if flash else None,
         progress=progress,
     )
     print(report.summary())
@@ -431,12 +505,18 @@ def run_explore_cli(
     mixes: Optional[str] = None,
     profiles: Optional[str] = None,
     report_out: Optional[str] = None,
+    flash: bool = False,
+    flash_op: float = 0.07,
+    flash_gc: str = "greedy",
+    flash_logical_mib: Optional[float] = None,
 ) -> int:
     """Design-space exploration (``repro explore``).
 
     Sweeps registered policy compositions across workload mixes and
     device profiles, printing the WA/RA/p99 comparison grid; with
     ``--report-out`` the markdown report is also written to disk.
+    ``flash=True`` mounts the same FTL geometry under every cell and adds
+    device/total write-amplification columns plus a total-WA winner.
     """
     from .errors import ConfigError
     from .workload.spec import TABLE_III
@@ -459,18 +539,51 @@ def run_explore_cli(
     if profiles:
         profile_names = [item.strip() for item in profiles.split(",") if item.strip()]
     try:
+        flash_spec = None
+        if flash:
+            probe_space: Optional[int] = None
+            if flash_logical_mib is None:
+                # One shared geometry for the whole sweep: size it from a
+                # flash-off probe of the first mix under UDC (the widest
+                # footprint spread is policy-side, which the margin covers).
+                probe = experiments.run_workload(
+                    experiments.workloads.TABLE_III[mix_names[0]](
+                        num_operations=ops, key_space=keys
+                    ),
+                    experiments.udc_factory,
+                    config=experiments.experiment_config(),
+                )
+                probe_space = probe.space_bytes
+            flash_spec = _build_flash_spec(
+                flash_op, flash_gc, flash_logical_mib, probe_space
+            )
         report = experiments.design_space(
             policies=policy_names,
             mixes=mix_names,
             profiles=profile_names,
             ops=ops,
             key_space=keys,
+            flash=flash_spec,
         )
     except ConfigError as exc:  # unknown device profile
         print(str(exc), file=sys.stderr)
         return 2
-    rows = [
-        (
+    headers = [
+        "policy",
+        "workload",
+        "device",
+        "ops/s",
+        "p99 us",
+        "WA",
+        "RA",
+        "compact MiB",
+        "space MiB",
+    ]
+    if flash_spec is not None:
+        headers += ["dev WA", "total WA"]
+    rows = []
+    for point in report["points"]:
+        row = [
             point.policy,
             point.workload,
             point.profile,
@@ -480,47 +593,64 @@ def run_explore_cli(
             round(point.read_amplification, 2),
             round(point.compaction_mib, 2),
             round(point.space_mib, 2),
-        )
-        for point in report["points"]
+        ]
+        if flash_spec is not None:
+            row += [
+                round(point.device_write_amplification, 3),
+                round(point.total_write_amplification, 2),
+            ]
+        rows.append(tuple(row))
+    print(format_table(headers, rows, title="design-space exploration"))
+    winner_headers = [
+        "cell", "lowest WA", "lowest RA", "lowest p99", "highest ops/s",
     ]
-    print(
-        format_table(
-            [
-                "policy",
-                "workload",
-                "device",
-                "ops/s",
-                "p99 us",
-                "WA",
-                "RA",
-                "compact MiB",
-                "space MiB",
-            ],
-            rows,
-            title="design-space exploration",
-        )
-    )
-    winner_rows = [
-        (
+    if flash_spec is not None:
+        winner_headers.append("lowest total WA")
+    winner_rows = []
+    for cell, best in report["winners"].items():
+        row = [
             cell,
             best["write_amplification"],
             best["read_amplification"],
             best["p99_us"],
             best["throughput_ops_s"],
-        )
-        for cell, best in report["winners"].items()
-    ]
-    print(
-        format_table(
-            ["cell", "lowest WA", "lowest RA", "lowest p99", "highest ops/s"],
-            winner_rows,
-            title="winners",
-        )
-    )
+        ]
+        if flash_spec is not None:
+            row.append(best["total_write_amplification"])
+        winner_rows.append(tuple(row))
+    print(format_table(winner_headers, winner_rows, title="winners"))
     if report_out is not None:
         with open(report_out, "w", encoding="utf-8") as handle:
             handle.write(experiments.format_design_report(report))
         print(f"report written to {report_out}")
+    return 0
+
+
+def run_device_wa_cli(
+    ops: int,
+    keys: int,
+    flash_op: float = 0.07,
+    flash_gc: str = "greedy",
+) -> int:
+    """End-to-end write-amplification comparison (``repro fig_device_wa``).
+
+    Sizes one flash geometry from a flash-off probe, runs every
+    registered policy on it and prints host / device / total WA with the
+    GC and wear counters (docs/DEVICE.md).
+    """
+    from .errors import ConfigError
+
+    try:
+        report = experiments.fig_device_wa(
+            ops=ops,
+            key_space=keys,
+            over_provisioning=flash_op,
+            gc_policy=flash_gc,
+        )
+    except ConfigError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(experiments.format_device_wa_report(report))
     return 0
 
 
@@ -865,6 +995,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FACTOR",
         help="minimum acceptable speedup factor for --compare (default 0.9)",
     )
+    parser.add_argument(
+        "--flash",
+        action="store_true",
+        help="mount the page/block FTL flash layer under the simulated "
+        "device ('run', 'explore', 'crashtest'; see docs/DEVICE.md)",
+    )
+    parser.add_argument(
+        "--flash-op",
+        type=float,
+        default=0.07,
+        metavar="FRACTION",
+        help="flash over-provisioning fraction (default 0.07; "
+        "'run'/'explore'/'fig_device_wa')",
+    )
+    parser.add_argument(
+        "--flash-gc",
+        default="greedy",
+        choices=("greedy", "cost_benefit"),
+        help="GC victim-selection policy (default greedy; "
+        "'run'/'explore'/'fig_device_wa')",
+    )
+    parser.add_argument(
+        "--flash-logical-mib",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help="logical flash capacity in MiB; default auto-sizes from a "
+        "flash-off probe of the workload ('run'/'explore')",
+    )
     return parser
 
 
@@ -884,12 +1043,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
+        print("fig_device_wa")
         print("trace")
         print("bench")
         print("run")
         print("crashtest")
         print("explore")
         return 0
+    if args.experiment == "fig_device_wa":
+        return run_device_wa_cli(
+            args.ops,
+            args.keys,
+            flash_op=args.flash_op,
+            flash_gc=args.flash_gc,
+        )
     if args.experiment == "explore":
         return run_explore_cli(
             args.ops,
@@ -898,6 +1065,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             mixes=args.mixes,
             profiles=args.profiles,
             report_out=args.report_out,
+            flash=args.flash,
+            flash_op=args.flash_op,
+            flash_gc=args.flash_gc,
+            flash_logical_mib=args.flash_logical_mib,
         )
     if args.experiment == "crashtest":
         return run_crashtest_cli(
@@ -909,6 +1080,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             value_bytes=args.value_bytes,
             corrupt=args.corrupt,
+            flash=args.flash,
         )
     if args.experiment == "bench":
         if args.history is not None:
@@ -934,6 +1106,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             bg_threads=args.bg_threads,
             slowdown_l0=args.slowdown_l0,
             stop_l0=args.stop_l0,
+            flash=args.flash,
+            flash_op=args.flash_op,
+            flash_gc=args.flash_gc,
+            flash_logical_mib=args.flash_logical_mib,
         )
     if args.experiment == "trace":
         if args.workload is None:

@@ -43,6 +43,8 @@ from ..lsm.compaction.spec import resolve_factory
 from ..lsm.config import LSMConfig
 from ..lsm.db import DB, WriteBatch
 from ..shard.db import ShardedDB
+from ..ssd.flash import DeviceConfig, FlashSpec
+from ..ssd.profile import ENTERPRISE_PCIE
 
 #: A workload operation: ("put", key, value) | ("delete", key) |
 #: ("get", key) | ("scan", start_key, count) |
@@ -55,6 +57,22 @@ PolicyFactory = Callable[[], object]
 
 #: torn_fraction cycle applied across successive crash points.
 TORN_CYCLE = (0.0, 0.5, 1.0)
+
+#: Deliberately tiny FTL geometry for flash-on crash testing: small pages
+#: and blocks over a capacity a few times the crashtest store's footprint,
+#: so the GC relocates pages within a few-thousand-op workload and crash
+#: points land *inside* relocations (the FaultyDevice is the flash layer's
+#: charger, so GC reads/writes count toward the crash index like any other
+#: charged I/O).  Crash-before-install ordering must then leave the
+#: mapping recoverable — ``DB.check_invariants`` runs the FTL's own
+#: invariant sweep after every recovery.
+CRASHTEST_FLASH_SPEC = FlashSpec(
+    page_bytes=512,
+    pages_per_block=16,
+    logical_bytes=48 * 1024,
+    over_provisioning=0.07,
+    gc_policy="greedy",
+)
 
 
 def default_config() -> LSMConfig:
@@ -193,15 +211,26 @@ def _build_store(
     seed: int,
     shards: int,
     plans: Optional[List[Optional[FaultPlan]]],
+    flash: Optional[FlashSpec] = None,
 ) -> Union[DB, ShardedDB]:
     policy_factory = resolve_factory(policy_factory)
+    profile = (
+        DeviceConfig(flash=flash) if flash is not None else ENTERPRISE_PCIE
+    )
     if shards <= 1:
         plan = plans[0] if plans else None
-        return DB(config=config, policy=policy_factory(), seed=seed, fault_plan=plan)
+        return DB(
+            config=config,
+            policy=policy_factory(),
+            profile=profile,
+            seed=seed,
+            fault_plan=plan,
+        )
     return ShardedDB(
         num_shards=shards,
         policy_factory=policy_factory,
         config=config,
+        profile=profile,
         seed=seed,
         fault_plans=plans,
     )
@@ -330,11 +359,12 @@ def run_reference(
     config: Optional[LSMConfig] = None,
     seed: int = 0,
     shards: int = 1,
+    flash: Optional[FlashSpec] = None,
 ) -> ReferenceRun:
     """Fault-free run counting charged I/Os per shard device."""
     config = config if config is not None else default_config()
     plans: List[Optional[FaultPlan]] = [FaultPlan() for _ in range(max(1, shards))]
-    store = _build_store(policy_factory, config, seed, shards, plans)
+    store = _build_store(policy_factory, config, seed, shards, plans, flash)
     for op in operations:
         _execute(store, op)
     engines = store.shards if isinstance(store, ShardedDB) else [store]
@@ -360,13 +390,14 @@ def run_crash_point(
     shards: int = 1,
     shard: int = 0,
     torn_fraction: float = 0.0,
+    flash: Optional[FlashSpec] = None,
 ) -> CrashPointResult:
     """Crash at one I/O index, recover, verify the oracle, finish the run."""
     config = config if config is not None else default_config()
     effective_shards = max(1, shards)
     plans: List[Optional[FaultPlan]] = [None] * effective_shards
     plans[shard] = FaultPlan().crash_at(io_index, torn_fraction=torn_fraction)
-    store = _build_store(policy_factory, config, seed, shards, plans)
+    store = _build_store(policy_factory, config, seed, shards, plans, flash)
     result = CrashPointResult(
         io_index=io_index, shard=shard, torn_fraction=torn_fraction, fired=False
     )
@@ -507,19 +538,24 @@ def run_crashtest(
     stride: int = 1,
     shards: int = 1,
     config: Optional[LSMConfig] = None,
+    flash: Optional[FlashSpec] = None,
     progress: Optional[Callable[[int, int], None]] = None,
 ) -> CrashTestReport:
     """Enumerate crash points over one workload and verify each recovery.
 
-    ``stride`` samples every Nth I/O index (1 = exhaustive).  ``progress``
-    (points_done, points_total) is called after each crash point — the
-    CLI uses it for a live counter.
+    ``stride`` samples every Nth I/O index (1 = exhaustive).  ``flash``
+    mounts an FTL layer under every store (see
+    :data:`CRASHTEST_FLASH_SPEC`), putting GC relocations inside the
+    crash-point schedule.  ``progress`` (points_done, points_total) is
+    called after each crash point — the CLI uses it for a live counter.
     """
     if stride <= 0:
         raise ReproError("stride must be positive")
     config = config if config is not None else default_config()
     operations = build_operations(num_ops, num_keys, seed, value_bytes)
-    reference = run_reference(operations, policy_factory, config, seed, shards)
+    reference = run_reference(
+        operations, policy_factory, config, seed, shards, flash
+    )
 
     points: List[Tuple[int, int]] = []
     for shard_index, shard_ios in enumerate(reference.shard_ios):
@@ -539,6 +575,7 @@ def run_crashtest(
                 shards=shards,
                 shard=shard_index,
                 torn_fraction=TORN_CYCLE[count % len(TORN_CYCLE)],
+                flash=flash,
             )
         )
         if progress is not None:

@@ -58,6 +58,11 @@ class FaultyDevice:
     def __init__(self, inner: SimulatedSSD, plan: FaultPlan) -> None:
         self.inner = inner
         self.plan = plan
+        if inner.flash is not None:
+            # GC relocation I/O must pass through the fault hooks too,
+            # so crash points can land inside a GC relocation; the FTL
+            # charges through the outermost device object.
+            inner.flash.charger = self
         #: Total charged I/Os so far (reads + writes), 1-based at test time.
         self.io_count = 0
         #: Total charged reads so far.
@@ -96,6 +101,15 @@ class FaultyDevice:
         return self.inner.wear_bytes
 
     @property
+    def flash(self):
+        """The inner device's flash layer (``None`` when disabled)."""
+        return self.inner.flash
+
+    def trim(self, owner) -> None:
+        # Trim is metadata-only (no charged I/O), so no fault hooks run.
+        self.inner.trim(owner)
+
+    @property
     def channel(self):
         """The inner device's bandwidth arbiter (see ``repro.sched``)."""
         return self.inner.channel
@@ -125,9 +139,19 @@ class FaultyDevice:
             self._deliver_corruption(mask, category, nbytes)
         return elapsed
 
-    def write(self, nbytes: int, category: str, *, sequential: bool = False) -> float:
+    def write(
+        self,
+        nbytes: int,
+        category: str,
+        *,
+        sequential: bool = False,
+        owner=None,
+        stream: bool = False,
+    ) -> float:
         self._before_io(category, nbytes, is_write=True)
-        return self.inner.write(nbytes, category, sequential=sequential)
+        return self.inner.write(
+            nbytes, category, sequential=sequential, owner=owner, stream=stream
+        )
 
     def read_runs(
         self,

@@ -25,6 +25,7 @@ from ..lsm.config import LSMConfig
 from ..lsm.db import DB
 from ..obs.snapshot import MetricsSnapshot
 from ..obs.tracer import Tracer
+from ..ssd.flash import DeviceConfig
 from ..ssd.profile import ENTERPRISE_PCIE, SSDProfile
 from ..workload.spec import WorkloadSpec
 from ..workload.ycsb import (
@@ -86,6 +87,15 @@ class RunResult:
     #: Foreground waits behind in-flight background compaction chunks on
     #: the device channel (scheduler only).
     device_wait_us: float = 0.0
+    #: Flash/FTL quantities (docs/DEVICE.md); the defaults are what a
+    #: flash-less run reports, so pickled results and old callers are
+    #: unaffected.  ``write_amplification`` above stays *host* WA.
+    device_write_amplification: float = 1.0
+    total_write_amplification: float = 0.0
+    gc_write_bytes: int = 0
+    flash_bytes_programmed: int = 0
+    blocks_erased: int = 0
+    max_erase_count: int = 0
 
     @property
     def throughput_ops_s(self) -> float:
@@ -110,6 +120,8 @@ class RunResult:
             "p99_us": self.latencies.percentile(99.0),
             "p999_us": self.latencies.percentile(99.9),
             "write_amplification": self.write_amplification,
+            "device_write_amplification": self.device_write_amplification,
+            "total_write_amplification": self.total_write_amplification,
             "compaction_gib": self.compaction_bytes_total / 2**30,
             "space_mib": self.space_bytes / 2**20,
         }
@@ -118,7 +130,7 @@ class RunResult:
 def build_db(
     policy_factory: PolicyFactory,
     config: Optional[LSMConfig] = None,
-    profile: SSDProfile = ENTERPRISE_PCIE,
+    profile: "SSDProfile | DeviceConfig" = ENTERPRISE_PCIE,
     seed: int = 0,
     tracer: Optional[Tracer] = None,
 ) -> DB:
@@ -126,6 +138,8 @@ def build_db(
 
     ``policy_factory`` may be a zero-arg factory, a registered policy
     name, or a :class:`~repro.lsm.compaction.spec.PolicySpec`.
+    ``profile`` accepts a bare :class:`~repro.ssd.profile.SSDProfile`
+    or a :class:`~repro.ssd.flash.DeviceConfig` (flash layer opt-in).
     """
     return DB(
         config=config if config is not None else LSMConfig(),
@@ -147,7 +161,7 @@ def run_workload(
     spec: WorkloadSpec,
     policy_factory: PolicyFactory,
     config: Optional[LSMConfig] = None,
-    profile: SSDProfile = ENTERPRISE_PCIE,
+    profile: "SSDProfile | DeviceConfig" = ENTERPRISE_PCIE,
     timeline_bucket_us: float = 1_000_000.0,
     db: Optional[DB] = None,
     tracer: Optional[Tracer] = None,
@@ -226,6 +240,7 @@ def execute_operations(
 
     elapsed = clock.now() - start_time
     device_stats = db.device.stats
+    snapshot = db.metrics()
     live = db.version.total_file_bytes()
     extra = db.policy.extra_space_bytes()
     write_recorder = _merge_recorders(recorders[OP_PUT], recorders[OP_DELETE])
@@ -259,9 +274,15 @@ def execute_operations(
         bloom_negative_skips=db.engine_stats.bloom_negative_skips,
         activity_share=db.engine_stats.activity_share(),
         final_threshold=final_threshold if isinstance(final_threshold, int) else None,
-        metrics=db.metrics(),
+        metrics=snapshot,
         stall_time_us=float(db.registry.counter("engine.stall_time_us")),
         device_wait_us=float(db.registry.counter("sched.device_wait_us")),
+        device_write_amplification=snapshot.device_write_amplification,
+        total_write_amplification=snapshot.total_write_amplification,
+        gc_write_bytes=snapshot.gc_write_bytes,
+        flash_bytes_programmed=snapshot.flash_bytes_programmed,
+        blocks_erased=snapshot.blocks_erased,
+        max_erase_count=snapshot.max_erase_count,
     )
 
 

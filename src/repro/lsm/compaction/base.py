@@ -260,7 +260,10 @@ class CompactionPolicy(ABC):
         records = records if type(records) is list else list(records)
         outputs = build_balanced(records, db.config, db.next_file_id)
         for table in outputs:
-            db.device.write(table.data_size, COMPACTION_WRITE, sequential=True)
+            db.device.write(
+                table.data_size, COMPACTION_WRITE, sequential=True,
+                owner=table.file_id,
+            )
         return outputs
 
     def finish_merge(
@@ -293,7 +296,10 @@ class CompactionPolicy(ABC):
             keys, records, seqs, sizes, db.config, db.next_file_id
         )
         for table in outputs:
-            db.device.write(table.data_size, COMPACTION_WRITE, sequential=True)
+            db.device.write(
+                table.data_size, COMPACTION_WRITE, sequential=True,
+                owner=table.file_id,
+            )
         return outputs
 
     def merge_tables(

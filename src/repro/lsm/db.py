@@ -65,6 +65,7 @@ from ..obs.snapshot import MetricsSnapshot
 from ..obs.tracer import Tracer
 from ..sched.scheduler import CompactionScheduler
 from ..ssd.device import SimulatedSSD
+from ..ssd.flash import DeviceConfig
 from ..ssd.metrics import FLUSH_WRITE, USER_READ, USER_SCAN
 from ..ssd.profile import ENTERPRISE_PCIE, SSDProfile
 
@@ -85,7 +86,11 @@ class DB:
         listing the registered policies.
     profile:
         Simulated device parameters; defaults to the enterprise PCIe
-        profile mirroring the paper's testbed.
+        profile mirroring the paper's testbed.  Accepts either a bare
+        :class:`~repro.ssd.profile.SSDProfile` or a
+        :class:`~repro.ssd.flash.DeviceConfig` — the latter optionally
+        enables the flash/FTL layer (``DeviceConfig(flash=FlashSpec())``,
+        docs/DEVICE.md), off by default.
     seed:
         Seed for the memtable skip list's height RNG.
     tracer:
@@ -113,7 +118,7 @@ class DB:
         self,
         config: Optional[LSMConfig] = None,
         policy: Optional[object] = None,
-        profile: SSDProfile = ENTERPRISE_PCIE,
+        profile: "SSDProfile | DeviceConfig" = ENTERPRISE_PCIE,
         seed: int = 0,
         tracer: Optional[Tracer] = None,
         fault_plan: Optional[FaultPlan] = None,
@@ -209,9 +214,14 @@ class DB:
         inputs, replaced targets, recycled frozen files — never for
         trivial moves (same table re-added) or LDC link freezes (slices
         keep the file readable).
+
+        With the flash layer enabled this is also the TRIM point: the
+        dead file's pages are invalidated so GC can reclaim them instead
+        of relocating stale data (free on the plain device).
         """
         if self.block_cache is not None:
             self.block_cache.evict_file(table.file_id)
+        self.device.trim(table.file_id)
 
     # ------------------------------------------------------------------
     # Observability
@@ -434,7 +444,10 @@ class DB:
         outputs = builder.finish()
         flushed_bytes = 0
         for table in outputs:
-            self.device.write(table.data_size, FLUSH_WRITE, sequential=True)
+            self.device.write(
+                table.data_size, FLUSH_WRITE, sequential=True,
+                owner=table.file_id,
+            )
             self.version.add_file(0, table)
             flushed_bytes += table.data_size
         self._memtable = MemTable(seed=self._seed)
@@ -1032,6 +1045,9 @@ class DB:
         self.policy.check_invariants()
         if self.sched is not None:
             self.sched.check_invariants()
+        flash = self.device.flash if hasattr(self.device, "flash") else None
+        if flash is not None:
+            flash.check_invariants()
         if self.block_cache is not None:
             stale = self.block_cache.cached_file_ids() - live_ids
             if stale:

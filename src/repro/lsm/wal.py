@@ -31,6 +31,7 @@ from typing import List
 from .record import KVRecord, RECORD_OVERHEAD_BYTES
 from ..errors import CorruptionError, SimulatedCrash
 from ..ssd.device import SimulatedSSD
+from ..ssd.flash import WAL_STREAM_OWNER
 from ..ssd.metrics import WAL_READ, WAL_WRITE
 
 #: Registry key counting torn (partially persisted) units dropped at recovery.
@@ -63,7 +64,9 @@ class WriteAheadLog:
         # write-cost/charge/record call chain can be fused.  Fault
         # injection (crashes, torn tails) lives in FaultyDevice, which is
         # not a SimulatedSSD subclass — the fused path never skips it.
-        if type(device) is SimulatedSSD:
+        # A flash layer also disables fusing: appends must reach the FTL's
+        # stream buffer, so they take the full device.write path.
+        if type(device) is SimulatedSSD and device.flash is None:
             profile = device.profile
             self._seq_overhead = (
                 profile.write_overhead_us * profile.sequential_discount
@@ -114,7 +117,10 @@ class WriteAheadLog:
         self._units.append(unit)
         self._bytes += nbytes
         try:
-            elapsed = self._device.write(nbytes, WAL_WRITE, sequential=True)
+            elapsed = self._device.write(
+                nbytes, WAL_WRITE, sequential=True,
+                owner=WAL_STREAM_OWNER, stream=True,
+            )
         except SimulatedCrash as crash:
             # The write never completed; record how much of the unit the
             # crash left on media so recovery sees (and drops) the torn
@@ -142,9 +148,18 @@ class WriteAheadLog:
         return any(not u.complete for u in self._units)
 
     def reset(self) -> None:
-        """Discard the log after its memtable has been durably flushed."""
+        """Discard the log after its memtable has been durably flushed.
+
+        Also the log's TRIM point: with a flash layer attached the dead
+        log pages (and any partial-page fill remainder) are invalidated
+        so GC never relocates stale WAL data.
+        """
         self._units = []
         self._bytes = 0
+        device = self._device
+        if self._write_stats is None:
+            # Only non-fused devices can carry a flash layer (see ctor).
+            device.trim(WAL_STREAM_OWNER)
 
     # ------------------------------------------------------------------
     # Recovery

@@ -18,6 +18,7 @@ Key naming follows the registry convention (``component.name``):
 ``device.write.<cat>.*``  per-category write ``ops`` / ``bytes`` / ``time_us``
 ``cache.hits/misses``     block-cache probe outcomes
 ``policy.<name>.*``       compaction-policy counters (links, merges, ...)
+``flash.*``               flash/FTL layer (pages programmed, GC, erases)
 ========================  =====================================================
 """
 
@@ -145,12 +146,64 @@ class MetricsSnapshot:
         return int(self.get("engine.user_bytes_written"))
 
     @property
+    def gc_write_bytes(self) -> int:
+        """Device-internal GC relocation writes (0 without a flash layer)."""
+        return int(self.get("device.write.gc_write.bytes"))
+
+    @property
+    def host_bytes_written(self) -> int:
+        """Engine-issued write bytes: total writes minus GC relocations."""
+        return self.total_bytes_written - self.gc_write_bytes
+
+    @property
     def write_amplification(self) -> float:
-        """Physical writes over logical user writes (Definition 2.6)."""
+        """Host writes over logical user writes (Definition 2.6).
+
+        GC relocation traffic (flash layer on) is excluded: it belongs
+        to :attr:`device_write_amplification`, and end-to-end WA is the
+        product (:attr:`total_write_amplification`).  Identical to the
+        historical all-device-writes ratio when the flash layer is off.
+        """
         user = self.user_bytes_written
         if user <= 0:
             return 0.0
-        return self.total_bytes_written / user
+        return self.host_bytes_written / user
+
+    @property
+    def flash_bytes_programmed(self) -> int:
+        """Bytes programmed into flash pages, host + GC (0 without flash)."""
+        return int(self.get("flash.bytes_programmed"))
+
+    @property
+    def blocks_erased(self) -> int:
+        return int(self.get("flash.blocks_erased"))
+
+    @property
+    def max_erase_count(self) -> int:
+        """Highest per-block erase count (wear hot spot; gauge)."""
+        return int(self.gauges.get("flash.max_erase_count", 0))
+
+    @property
+    def device_write_amplification(self) -> float:
+        """Programmed flash bytes over host write bytes (1.0 without flash).
+
+        The numerator counts whole programmed pages plus the WAL
+        stream's not-yet-programmed fill remainder, so page-granularity
+        rounding can never push the ratio below 1.
+        """
+        programmed = self.flash_bytes_programmed
+        if programmed <= 0:
+            return 1.0
+        pending = self.gauges.get("flash.stream_pending_bytes", 0)
+        host = self.host_bytes_written
+        if host <= 0:
+            return 1.0
+        return (programmed + pending) / host
+
+    @property
+    def total_write_amplification(self) -> float:
+        """End-to-end WA: host WA × device WA (the paper's lifetime story)."""
+        return self.write_amplification * self.device_write_amplification
 
     @property
     def cache_hit_ratio(self) -> float:

@@ -43,6 +43,7 @@ from ..lsm.config import LSMConfig
 from ..lsm.db import DB
 from ..obs.aggregate import aggregate_snapshots, combined_view
 from ..obs.snapshot import MetricsSnapshot
+from ..ssd.flash import DeviceConfig
 from ..ssd.profile import ENTERPRISE_PCIE, SSDProfile
 
 #: Factory producing a fresh policy instance (one per shard; policies are
@@ -88,7 +89,9 @@ class ShardedDB:
         build one from ``partitioner_kind`` (+ ``key_space`` for range).
     config / profile:
         Shared engine geometry and device profile; every shard gets its
-        own simulated device built from the same profile.
+        own simulated device built from the same profile.  A
+        :class:`~repro.ssd.flash.DeviceConfig` gives each shard its own
+        independent flash/FTL layer from the same spec.
     seed:
         Base seed; shard ``i`` uses ``seed + i`` so shard memtables are
         independent but the whole fleet is reproducible.
@@ -107,7 +110,7 @@ class ShardedDB:
         partitioner_kind: str = "hash",
         key_space: int = 0,
         config: Optional[LSMConfig] = None,
-        profile: SSDProfile = ENTERPRISE_PCIE,
+        profile: "SSDProfile | DeviceConfig" = ENTERPRISE_PCIE,
         seed: int = 0,
         fault_plans: Optional[Sequence[Optional["FaultPlan"]]] = None,
     ) -> None:

@@ -38,6 +38,7 @@ from ..lsm.config import LSMConfig
 from ..lsm.db import DB
 from ..obs.aggregate import aggregate_snapshots, combined_view
 from ..obs.snapshot import MetricsSnapshot
+from ..ssd.flash import DeviceConfig
 from ..ssd.profile import ENTERPRISE_PCIE, SSDProfile
 from ..workload.spec import WorkloadSpec
 from ..workload.ycsb import Operation, WorkloadGenerator
@@ -59,7 +60,7 @@ class ShardTask:
     operations: Tuple[Operation, ...]
     factory: PolicyFactory
     config: Optional[LSMConfig] = None
-    profile: SSDProfile = ENTERPRISE_PCIE
+    profile: "SSDProfile | DeviceConfig" = ENTERPRISE_PCIE
     seed: int = 0
     timeline_bucket_us: float = 1_000_000.0
 
@@ -130,6 +131,22 @@ class ShardedRunReport:
         return self.metrics.write_amplification if self.metrics else 0.0
 
     @property
+    def device_write_amplification(self) -> float:
+        """Fleet device WA over the summed counters (1.0 without flash).
+
+        Both numerator (programmed bytes + stream remainders) and
+        denominator (host write bytes) sum correctly across shards, so
+        the aggregate snapshot's ratio is the fleet ratio.  Per-shard
+        wear detail (e.g. max erase counts, which do *not* sum) lives in
+        ``combined_metrics``'s ``shard.<i>.`` namespaces.
+        """
+        return self.metrics.device_write_amplification if self.metrics else 1.0
+
+    @property
+    def total_write_amplification(self) -> float:
+        return self.metrics.total_write_amplification if self.metrics else 0.0
+
+    @property
     def shard_operations(self) -> List[int]:
         return [result.operations for result in self.shard_results]
 
@@ -178,7 +195,7 @@ def run_sharded_workload(
     partitioner: Union[str, Partitioner] = "hash",
     workers: int = 1,
     config: Optional[LSMConfig] = None,
-    profile: SSDProfile = ENTERPRISE_PCIE,
+    profile: "SSDProfile | DeviceConfig" = ENTERPRISE_PCIE,
     timeline_bucket_us: float = 1_000_000.0,
     seed: int = 0,
 ) -> ShardedRunReport:

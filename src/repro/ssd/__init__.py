@@ -7,11 +7,19 @@ substitution argument).
 
 from .clock import SimClock
 from .device import SimulatedSSD
+from .flash import (
+    WAL_STREAM_OWNER,
+    DeviceConfig,
+    FlashSpec,
+    FlashTranslationLayer,
+)
 from .metrics import (
     ALL_CATEGORIES,
     COMPACTION_READ,
     COMPACTION_WRITE,
     FLUSH_WRITE,
+    GC_READ,
+    GC_WRITE,
     USER_READ,
     USER_SCAN,
     WAL_WRITE,
@@ -47,4 +55,10 @@ __all__ = [
     "FLUSH_WRITE",
     "COMPACTION_READ",
     "COMPACTION_WRITE",
+    "GC_READ",
+    "GC_WRITE",
+    "DeviceConfig",
+    "FlashSpec",
+    "FlashTranslationLayer",
+    "WAL_STREAM_OWNER",
 ]

@@ -25,6 +25,7 @@ from __future__ import annotations
 import warnings
 
 from .clock import DeviceChannel, SimClock
+from .flash import GC_WRITE, DeviceConfig, FlashSpec, FlashTranslationLayer
 from .metrics import IOStats
 from .profile import ENTERPRISE_PCIE, SSDProfile
 from ..errors import DeviceError
@@ -47,7 +48,10 @@ class SimulatedSSD:
     ----------
     profile:
         Device performance parameters; defaults to the enterprise PCIe
-        profile that mirrors the paper's testbed.
+        profile that mirrors the paper's testbed.  A
+        :class:`~repro.ssd.flash.DeviceConfig` is also accepted and
+        carries both the profile and an optional flash geometry — the
+        form every ``profile=`` parameter up the stack forwards here.
     clock:
         The virtual clock to advance.  A fresh clock is created when omitted
         so standalone device tests need no setup.
@@ -66,16 +70,26 @@ class SimulatedSSD:
 
     def __init__(
         self,
-        profile: SSDProfile = ENTERPRISE_PCIE,
+        profile: "SSDProfile | DeviceConfig" = ENTERPRISE_PCIE,
         clock: SimClock | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        flash: FlashSpec | None = None,
     ) -> None:
+        if isinstance(profile, DeviceConfig):
+            if flash is None:
+                flash = profile.flash
+            profile = profile.profile
         self.profile = profile
         self.clock = clock if clock is not None else SimClock()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.stats = IOStats(registry=self.registry)
         self.tracer = tracer if tracer is not None else Tracer(clock=self.clock)
+        #: Optional flash layer (:mod:`repro.ssd.flash`); ``None`` keeps
+        #: the device byte-identical to the flash-less simulator.
+        self.flash: FlashTranslationLayer | None = (
+            FlashTranslationLayer(flash, device=self) if flash is not None else None
+        )
         #: Bandwidth arbiter attached by the compaction scheduler
         #: (:mod:`repro.sched`).  ``None`` by default: without a scheduler
         #: nothing else competes for the device and arbitration is skipped
@@ -128,12 +142,31 @@ class SimulatedSSD:
             )
         return elapsed
 
-    def write(self, nbytes: int, category: str, *, sequential: bool = False) -> float:
+    def write(
+        self,
+        nbytes: int,
+        category: str,
+        *,
+        sequential: bool = False,
+        owner=None,
+        stream: bool = False,
+    ) -> float:
         """Charge a write of ``nbytes`` to ``category``; return elapsed µs.
 
         Arbitrates for the device channel exactly like :meth:`read`.
+
+        With a flash layer attached, the write is first mapped into page
+        programs tagged with ``owner`` (``stream=True`` appends into the
+        owner's partial-page fill buffer — the WAL path); that mapping
+        step may trigger garbage collection, whose relocation I/O is
+        charged before this write's own service time.  GC's internal
+        relocation writes (category ``gc_write``) skip the mapping step
+        — the FTL programs those pages itself.
         """
         elapsed = self.write_cost_us(nbytes, sequential=sequential)
+        flash = self.flash
+        if flash is not None and category != GC_WRITE:
+            flash.host_write(nbytes, category, owner=owner, stream=stream)
         self._charge(elapsed, nbytes)
         self.stats.record_write(category, nbytes, elapsed)
         if self.tracer.active:
@@ -208,6 +241,17 @@ class SimulatedSSD:
         else:
             clock.advance_io(elapsed, nbytes)
 
+    def trim(self, owner) -> None:
+        """Invalidate every flash page tagged with ``owner``.
+
+        The engine calls this when a tagged extent dies as a whole — an
+        SSTable deleted after compaction, or the WAL reset after a
+        flush.  Free on the plain (flash-less) device: dropped data
+        costs nothing there, matching the pre-flash simulator exactly.
+        """
+        if self.flash is not None:
+            self.flash.trim(owner)
+
     # ------------------------------------------------------------------
     # Fault-injection hooks (inert on the plain device)
     # ------------------------------------------------------------------
@@ -241,7 +285,15 @@ class SimulatedSSD:
 
     @property
     def wear_bytes(self) -> int:
-        """Total bytes physically written to flash (endurance proxy)."""
+        """Total bytes physically written to flash (endurance proxy).
+
+        With a flash layer attached this is the programmed-page total
+        (host pages + GC relocations, whole-page granularity) — the
+        quantity erase counts follow.  Without one it falls back to the
+        host byte total, the historical proxy.
+        """
+        if self.flash is not None:
+            return self.flash.bytes_programmed
         return self.stats.total_bytes_written
 
     @staticmethod

@@ -28,6 +28,11 @@ WAL_READ = "wal_read"
 FLUSH_WRITE = "flush_write"
 COMPACTION_READ = "compaction_read"
 COMPACTION_WRITE = "compaction_write"
+# Device-internal GC relocation traffic (flash layer only; see
+# repro.ssd.flash).  Defined here so the category roster stays in one
+# place; repro.ssd.flash re-exports them as its canonical names.
+GC_READ = "gc_read"
+GC_WRITE = "gc_write"
 
 ALL_CATEGORIES: Tuple[str, ...] = (
     USER_READ,
@@ -37,11 +42,14 @@ ALL_CATEGORIES: Tuple[str, ...] = (
     FLUSH_WRITE,
     COMPACTION_READ,
     COMPACTION_WRITE,
+    GC_READ,
+    GC_WRITE,
 )
 
 _PREFIX = "device"
 _COMPACTION_READ_KEY = f"{_PREFIX}.read.{COMPACTION_READ}.bytes"
 _COMPACTION_WRITE_KEY = f"{_PREFIX}.write.{COMPACTION_WRITE}.bytes"
+_GC_WRITE_KEY = f"{_PREFIX}.write.{GC_WRITE}.bytes"
 
 
 class CategoryStats:
@@ -217,11 +225,27 @@ class IOStats:
         """Total compaction traffic — the y-axis of the paper's Fig. 10c."""
         return self.compaction_bytes_read + self.compaction_bytes_written
 
+    @property
+    def host_bytes_written(self) -> int:
+        """Bytes the *engine* wrote — total writes minus GC relocations.
+
+        Identical to :attr:`total_bytes_written` on a flash-less device
+        (no ``gc_write`` category ever appears); with the flash layer on
+        it excludes device-internal relocation traffic so host-level WA
+        keeps its historical meaning.
+        """
+        return self.total_bytes_written - int(self.registry.counter(_GC_WRITE_KEY))
+
     def write_amplification(self, user_bytes_written: int) -> float:
-        """Physical writes divided by logical user writes (Definition 2.6)."""
+        """Host writes divided by logical user writes (Definition 2.6).
+
+        This is *host* WA — device-internal GC relocations are excluded
+        (they belong to device WA; end-to-end WA is the product, see
+        ``MetricsSnapshot.total_write_amplification``).
+        """
         if user_bytes_written <= 0:
             return 0.0
-        return self.total_bytes_written / user_bytes_written
+        return self.host_bytes_written / user_bytes_written
 
     # ------------------------------------------------------------------
     # Presentation

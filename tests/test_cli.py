@@ -69,3 +69,67 @@ class TestDispatch:
         assert main(["fig09", "--ops", "900", "--keys", "300"]) == 0
         out = capsys.readouterr().out
         assert "workload" in out and "p99.9" in out
+
+
+class TestFlashCLI:
+    def test_flash_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "RWB",
+                "--flash",
+                "--flash-op",
+                "0.28",
+                "--flash-gc",
+                "cost_benefit",
+                "--flash-logical-mib",
+                "4",
+            ]
+        )
+        assert args.flash
+        assert args.flash_op == 0.28
+        assert args.flash_gc == "cost_benefit"
+        assert args.flash_logical_mib == 4.0
+        assert build_parser().parse_args(["crashtest", "--flash"]).flash
+        assert not build_parser().parse_args(["run", "RWB"]).flash
+
+    def test_run_flash_tiny(self, capsys):
+        assert main(["run", "RWB", "--flash", "--ops", "1500", "--keys", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "flash:" in out and "OP=" in out
+        assert "device write amp" in out
+        assert "total write amp" in out
+        assert "blocks erased" in out
+
+    def test_fig_device_wa_tiny(self, capsys):
+        assert main(["fig_device_wa", "--ops", "1500", "--keys", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "total WA" in out
+        assert "lowest total WA" in out
+        assert "ldc" in out and "udc" in out
+
+    def test_fig_device_wa_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "fig_device_wa" in capsys.readouterr().out
+
+    def test_explore_flash_tiny(self, capsys):
+        assert (
+            main(
+                [
+                    "explore",
+                    "--flash",
+                    "--policies",
+                    "udc,ldc",
+                    "--mixes",
+                    "RWB",
+                    "--ops",
+                    "1200",
+                    "--keys",
+                    "400",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "dev WA" in out
+        assert "lowest total WA" in out

@@ -31,6 +31,44 @@ def test_example_imports_resolve(path):
                 )
 
 
+def load_example(name):
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSSDEnduranceOutput:
+    """The endurance example must report *measured* flash wear."""
+
+    def test_run_reports_real_device_metrics(self):
+        example = load_example("ssd_endurance")
+        flash, rows = example.run(num_ops=3000, key_space=900, value_bytes=256)
+        assert flash.over_provisioning == example.OVER_PROVISIONING
+        assert {row["policy"] for row in rows} == {"UDC", "LDC"}
+        for row in rows:
+            assert row["device_wa"] >= 1.0
+            assert row["total_wa"] == pytest.approx(
+                row["host_wa"] * row["device_wa"]
+            )
+            assert row["programmed_bytes"] >= row["host_bytes"]
+            assert row["blocks_erased"] > 0
+            assert row["max_erase"] >= 1
+
+    def test_main_prints_wa_decomposition(self, capsys):
+        example = load_example("ssd_endurance")
+        example.main(num_ops=3000, key_space=900, value_bytes=256)
+        out = capsys.readouterr().out
+        assert "flash geometry:" in out
+        assert "device WA" in out
+        assert "total WA" in out
+        assert "max P/E" in out
+        assert "P/E cycles" in out
+        assert "UDC" in out and "LDC" in out
+
+
 def test_expected_examples_present():
     names = {path.name for path in EXAMPLES}
     assert {

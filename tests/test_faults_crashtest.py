@@ -177,6 +177,118 @@ class TestShardedCrashtest:
         assert all(ios > 0 for ios in ref.shard_ios)
 
 
+class TestFlashCrashtest:
+    """Crash points with an FTL mounted: GC relocations are in-schedule."""
+
+    def test_flash_reference_preserves_logical_behaviour(self):
+        """Mounting the FTL changes device traffic, never engine results."""
+        ops = crashtest.build_operations(1200, 150, seed=0)
+        plain = crashtest.run_reference(
+            ops, LDCPolicy, config=small_config(), seed=0
+        )
+        flashed = crashtest.run_reference(
+            ops,
+            LDCPolicy,
+            config=small_config(),
+            seed=0,
+            flash=crashtest.CRASHTEST_FLASH_SPEC,
+        )
+        assert flashed.flushes == plain.flushes
+        assert flashed.links == plain.links
+        assert flashed.merges == plain.merges
+        assert flashed.final_items == plain.final_items
+        # GC relocation charges make the flash run strictly busier.
+        assert flashed.total_ios > plain.total_ios
+
+    @pytest.mark.parametrize(
+        "factory, name", [(LeveledCompaction, "udc"), (LDCPolicy, "ldc")]
+    )
+    def test_flash_crash_sweep_recovers(self, factory, name):
+        report = crashtest.run_crashtest(
+            factory,
+            policy_name=name,
+            num_ops=1200,
+            num_keys=150,
+            seed=0,
+            stride=37,
+            config=small_config(),
+            flash=crashtest.CRASHTEST_FLASH_SPEC,
+        )
+        assert report.points_fired == report.points_run
+        assert report.ok, report.summary()
+
+    @staticmethod
+    def gc_io_indices(factory, ops):
+        """1-based charged-I/O indices of GC relocation traffic.
+
+        A fault-free flash run emits one ``device_read``/``device_write``
+        trace event per charged transfer — but the fault plan counts the
+        *host* write before the GC charges it triggers (the checkpoint
+        fires on entry, the relocations nest inside), while the trace
+        logs the nested GC events first.  Reconstruct count order by
+        moving each triggering host write ahead of its buffered GC
+        events.
+        """
+        from repro import DB, RingBufferSink, Tracer
+        from repro.ssd.flash import DeviceConfig
+
+        ring = RingBufferSink(capacity=1 << 20)
+        tracer = Tracer()
+        tracer.add_sink(ring)
+        db = DB(
+            config=small_config(),
+            policy=factory(),
+            profile=DeviceConfig(flash=crashtest.CRASHTEST_FLASH_SPEC),
+            tracer=tracer,
+        )
+        for op in ops:
+            crashtest._execute(db, op)
+        order = []
+        pending_gc = []
+        for event in ring.events_of("device_read", "device_write"):
+            category = event.fields["category"]
+            if category in ("gc_read", "gc_write"):
+                pending_gc.append(category)
+            elif pending_gc:
+                # GC only ever nests inside a host write's charge.
+                assert event.kind == "device_write", event
+                order.append(category)
+                order.extend(pending_gc)
+                pending_gc = []
+            else:
+                order.append(category)
+        assert not pending_gc
+        return [
+            index
+            for index, category in enumerate(order, start=1)
+            if category in ("gc_read", "gc_write")
+        ]
+
+    @pytest.mark.parametrize(
+        "factory, name", [(LeveledCompaction, "udc"), (LDCPolicy, "ldc")]
+    )
+    def test_flash_crash_point_mid_gc_recovers(self, factory, name):
+        """A crash landing exactly on a GC charge leaves the store whole."""
+        ops = crashtest.build_operations(1200, 150, seed=0)
+        gc_points = self.gc_io_indices(factory, ops)
+        assert gc_points, f"{name}: workload produced no GC relocations"
+        for io_index, torn in zip(gc_points[:4], (0.0, 0.5, 1.0, 0.0)):
+            result = crashtest.run_crash_point(
+                ops,
+                factory,
+                io_index,
+                config=small_config(),
+                seed=0,
+                torn_fraction=torn,
+                flash=crashtest.CRASHTEST_FLASH_SPEC,
+            )
+            assert result.fired
+            assert result.crash_category in ("gc_read", "gc_write"), (
+                result.crash_category
+            )
+            assert result.ok, result.errors
+
+
 class TestCorruptionSweep:
     @pytest.mark.parametrize("factory, name", [(LeveledCompaction, "udc"), (LDCPolicy, "ldc")])
     def test_all_delivered_corruptions_detected(self, factory, name):

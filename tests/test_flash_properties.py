@@ -1,0 +1,223 @@
+"""Property suite for the FTL: random owner write/trim/stream schedules.
+
+Hypothesis drives random sequences of owner-tagged writes, streamed
+(WAL-style) appends and whole-owner trims through a flash-enabled
+:class:`~repro.ssd.device.SimulatedSSD` over a deliberately tiny
+geometry, so garbage collection fires constantly.  After every operation
+the suite checks the paper-level FTL invariants:
+
+* every live logical page maps to exactly one valid physical page
+  (forward and reverse maps agree, no duplicate physical pages);
+* GC never loses a live page and never resurrects a stale one — each
+  owner's live page count always equals the model's;
+* valid + invalid + free page counts tile the geometry exactly;
+* per-block erase counts are monotone non-decreasing;
+* device write amplification never drops below 1 (programmed bytes plus
+  the stream fill remainder cover every host byte).
+"""
+
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DeviceConfig, FlashSpec, SimulatedSSD
+from repro.ssd.flash import WAL_STREAM_OWNER
+
+#: Tiny geometry: 4-page blocks so a handful of writes spans blocks and
+#: GC runs within a few operations.
+SPEC = FlashSpec(
+    page_bytes=256,
+    pages_per_block=4,
+    logical_bytes=16 * 1024,
+    over_provisioning=0.25,
+    gc_reserve_blocks=2,
+)
+
+OWNERS = tuple(f"file-{index}" for index in range(5))
+
+#: Keep enough free pages that forced GC can always make progress: stop
+#: accepting new live data within three blocks of physical capacity.
+HEADROOM_PAGES = 3 * SPEC.pages_per_block
+
+
+def op_strategy():
+    write = st.tuples(
+        st.just("write"),
+        st.sampled_from(OWNERS),
+        st.integers(min_value=1, max_value=4 * SPEC.page_bytes),
+    )
+    stream = st.tuples(
+        st.just("stream"),
+        st.just(WAL_STREAM_OWNER),
+        st.integers(min_value=1, max_value=SPEC.page_bytes + SPEC.page_bytes // 2),
+    )
+    trim = st.tuples(
+        st.just("trim"),
+        st.sampled_from(OWNERS + (WAL_STREAM_OWNER,)),
+        st.just(0),
+    )
+    return st.lists(st.one_of(write, stream, trim), min_size=1, max_size=80)
+
+
+def pages_of(nbytes):
+    return -(-nbytes // SPEC.page_bytes)
+
+
+class Model:
+    """Expected per-owner live pages plus host-byte totals."""
+
+    def __init__(self):
+        self.live_pages = {}
+        self.stream_fill = 0
+        #: Host bytes still owed a physical home.  Trimming a stream
+        #: owner drops its partial-page fill, so those bytes leave the
+        #: ledger too — mirroring ``FlashTranslationLayer.trim``.
+        self.accountable_bytes = 0
+
+    def write(self, owner, nbytes):
+        self.live_pages[owner] = self.live_pages.get(owner, 0) + pages_of(nbytes)
+        self.accountable_bytes += nbytes
+
+    def stream(self, owner, nbytes):
+        total = self.stream_fill + nbytes
+        whole, self.stream_fill = divmod(total, SPEC.page_bytes)
+        self.live_pages[owner] = self.live_pages.get(owner, 0) + whole
+        self.accountable_bytes += nbytes
+
+    def trim(self, owner):
+        self.live_pages.pop(owner, None)
+        if owner == WAL_STREAM_OWNER:
+            self.accountable_bytes -= self.stream_fill
+            self.stream_fill = 0
+
+    @property
+    def total_live(self):
+        return sum(self.live_pages.values())
+
+
+def check_against_model(flash, model):
+    flash.check_invariants()
+    # Exactly the model's live pages, owner for owner (GC lost nothing,
+    # resurrected nothing).
+    observed = {
+        owner: len(pages) for owner, pages in flash.owner_pages.items() if pages
+    }
+    expected = {
+        owner: count for owner, count in model.live_pages.items() if count
+    }
+    assert observed == expected
+    # Each live logical page maps to exactly one valid physical page.
+    all_ppns = [ppn for pages in flash.owner_pages.values() for ppn in pages]
+    assert len(all_ppns) == len(set(all_ppns))
+    # Device WA >= 1: whole-page programs plus the stream remainder cover
+    # every host byte still on the ledger.
+    assert (
+        flash.bytes_programmed + flash.stream_pending_bytes
+        >= model.accountable_bytes
+    )
+    assert flash.stream_pending_bytes == model.stream_fill
+
+
+@pytest.mark.parametrize("gc_policy", ("greedy", "cost_benefit"))
+@given(ops=op_strategy())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_ftl_invariants_under_random_schedules(gc_policy, ops):
+    spec = FlashSpec(
+        page_bytes=SPEC.page_bytes,
+        pages_per_block=SPEC.pages_per_block,
+        logical_bytes=SPEC.logical_bytes,
+        over_provisioning=SPEC.over_provisioning,
+        gc_reserve_blocks=SPEC.gc_reserve_blocks,
+        gc_policy=gc_policy,
+    )
+    device = SimulatedSSD(DeviceConfig(flash=spec))
+    flash = device.flash
+    model = Model()
+    erase_floor = list(flash.erase_counts)
+
+    for kind, owner, nbytes in ops:
+        if kind == "trim":
+            device.trim(owner)
+            model.trim(owner)
+        else:
+            added = (
+                pages_of(nbytes)
+                if kind == "write"
+                else (model.stream_fill + nbytes) // SPEC.page_bytes
+            )
+            if model.total_live + added > spec.total_pages - HEADROOM_PAGES:
+                # The geometry cannot hold more live data; free the
+                # largest owner first so GC always has stale pages.
+                victim = max(model.live_pages, key=model.live_pages.get)
+                device.trim(victim)
+                model.trim(victim)
+            if kind == "write":
+                device.write(nbytes, "flush_write", owner=owner)
+                model.write(owner, nbytes)
+            else:
+                device.write(nbytes, "wal_write", owner=owner, stream=True)
+                model.stream(owner, nbytes)
+
+        check_against_model(flash, model)
+        # Erase counts only ever grow.
+        assert all(
+            count >= floor
+            for count, floor in zip(flash.erase_counts, erase_floor)
+        )
+        erase_floor = list(flash.erase_counts)
+
+    # Conservation at the end: written pages never exceed the geometry,
+    # and the free pool plus open/used blocks account for every block.
+    assert sum(flash._written) <= spec.total_pages
+    assert flash.live_pages == model.total_live
+
+
+@given(ops=op_strategy())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_gc_accounting_is_consistent(ops):
+    """Registry counters agree with the FTL's own totals at every point."""
+    device = SimulatedSSD(DeviceConfig(flash=SPEC))
+    flash = device.flash
+    model = Model()
+    for kind, owner, nbytes in ops:
+        if kind == "trim":
+            device.trim(owner)
+            model.trim(owner)
+            continue
+        added = (
+            pages_of(nbytes)
+            if kind == "write"
+            else (model.stream_fill + nbytes) // SPEC.page_bytes
+        )
+        if model.total_live + added > SPEC.total_pages - HEADROOM_PAGES:
+            victim = max(model.live_pages, key=model.live_pages.get)
+            device.trim(victim)
+            model.trim(victim)
+        if kind == "write":
+            device.write(nbytes, "flush_write", owner=owner)
+            model.write(owner, nbytes)
+        else:
+            device.write(nbytes, "wal_write", owner=owner, stream=True)
+            model.stream(owner, nbytes)
+    registry = device.registry
+    host_pages = int(registry.counter("flash.host_pages_programmed"))
+    gc_pages = int(registry.counter("flash.gc_pages_relocated"))
+    total_pages = int(registry.counter("flash.pages_programmed"))
+    assert host_pages + gc_pages == total_pages
+    assert total_pages * SPEC.page_bytes == flash.bytes_programmed
+    assert int(registry.counter("flash.blocks_erased")) == flash.blocks_erased
+    assert sum(flash.erase_counts) == flash.blocks_erased
+    assert registry.gauge("flash.free_blocks", -1) in (-1, flash.free_blocks)
+    # GC write bytes on the device ledger equal relocated pages exactly.
+    assert int(
+        registry.counter("device.write.gc_write.bytes")
+    ) == gc_pages * SPEC.page_bytes

@@ -130,3 +130,33 @@ class TestAblations:
             write_bandwidths=(250.0, 2000.0), ops=OPS, key_space=KEYS
         )
         assert len(out.rows) == 4
+
+
+class TestDeviceWA:
+    def test_fig_device_wa_structure(self):
+        report = experiments.fig_device_wa(ops=OPS, key_space=KEYS)
+        rows = report["rows"]
+        assert set(rows) == set(experiments.available_policies())
+        for row in rows.values():
+            assert row["device_wa"] >= 1.0
+            assert row["total_wa"] == pytest.approx(
+                row["host_wa"] * row["device_wa"], rel=1e-6
+            )
+            assert row["blocks_erased"] >= 0
+        winner = min(rows, key=lambda name: rows[name]["total_wa"])
+        assert report["winner_total_wa"] == winner
+        # Capacity comes from the flash-off probe times the margin.
+        assert report["flash"].logical_bytes == max(
+            int(report["probe_space_bytes"] * experiments.DEVICE_WA_SIZE_MARGIN),
+            1 << 20,
+        )
+        rendered = experiments.format_device_wa_report(report)
+        assert "total WA" in rendered and "lowest total WA" in rendered
+
+    def test_fig_device_wa_rejects_bad_op(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            experiments.fig_device_wa(
+                ops=OPS, key_space=KEYS, over_provisioning=-0.5
+            )
