@@ -29,6 +29,11 @@ The library provides:
   tracking): ``DB(profile=DeviceConfig(flash=FlashSpec(...)))`` makes
   device-level write amplification and erase counts measurable end to
   end (docs/DEVICE.md);
+* :mod:`repro.serve` — the open-loop serving layer: deterministic
+  arrival processes (Poisson / bursty MMPP / diurnal), multi-tenant rate
+  aggregation, a bounded admission-controlled request queue wired to the
+  engine's L0 back-pressure, and queueing-aware tail-latency reports
+  (queue wait and service time measured separately — docs/SERVING.md);
 * :mod:`repro.obs` — the observability layer: structured event tracing
   (:class:`~repro.obs.tracer.Tracer` with ring-buffer and JSON-lines
   sinks), the metrics registry behind every counter, frozen diffable
@@ -47,11 +52,14 @@ b'hello'
 
 from .core import AdaptiveThreshold, FrozenRegion, LDCPolicy, Slice
 from .errors import (
+    AdmissionError,
+    BackpressureError,
     ClosedError,
     CompactionError,
     ConfigError,
     DeviceError,
     EngineError,
+    QueueFullError,
     ReproError,
     UnknownPolicyError,
     WorkloadError,
@@ -83,6 +91,14 @@ from .obs import (
     Tracer,
 )
 from .sched import CompactionScheduler, DeviceChannel
+from .serve import (
+    RequestQueue,
+    ServeResult,
+    ServeSpec,
+    Tenant,
+    run_sharded_serve,
+    serve_workload,
+)
 from .shard import (
     HashPartitioner,
     RangePartitioner,
@@ -128,6 +144,12 @@ __all__ = [
     "HashPartitioner",
     "RangePartitioner",
     "run_sharded_workload",
+    "Tenant",
+    "ServeSpec",
+    "ServeResult",
+    "RequestQueue",
+    "serve_workload",
+    "run_sharded_serve",
     "Slice",
     "FrozenRegion",
     "AdaptiveThreshold",
@@ -152,6 +174,9 @@ __all__ = [
     "MetricsSnapshot",
     "LatencyHistogram",
     "ReproError",
+    "AdmissionError",
+    "QueueFullError",
+    "BackpressureError",
     "ConfigError",
     "DeviceError",
     "EngineError",

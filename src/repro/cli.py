@@ -123,6 +123,54 @@ def _run_fig01s(ops: int, keys: int) -> None:
     )
 
 
+def _run_fig01ol(ops: int, keys: int) -> None:
+    out = experiments.fig01_open_loop(ops=ops, key_space=keys)
+    rows = []
+    curves = out["curves"]
+    for index, fraction in enumerate(out["load_fractions"]):
+        for policy in ("UDC", "LDC"):
+            row = curves[policy][index]
+            rows.append(
+                (
+                    f"{fraction:.2f}",
+                    policy,
+                    round(row["offered_rate_ops_s"]),
+                    round(row["p50_us"], 1),
+                    round(row["p999_us"], 1),
+                    f"{row['slo_violation_rate']:.4f}",
+                    int(row["rejected"]),
+                )
+            )
+    print(
+        format_table(
+            ["load", "policy", "rate ops/s", "p50 us", "p99.9 us",
+             "SLO viol", "rejected"],
+            rows,
+            title=f"fig01_open_loop (SLO {out['slo_us']:g}us, "
+            f"queue {out['queue_depth']}, {out['arrival']})",
+        )
+    )
+    head = out["headline"]
+    knee = out["knee_fraction"]
+    print(
+        f"UDC knee: load {knee} (first tested load with SLO violation "
+        f"rate > 5%)" if knee is not None else "UDC knee: not reached"
+    )
+    print(
+        f"headline @ load {head['load_fraction']:.2f} "
+        f"({head['offered_rate_ops_s']:.0f} ops/s, above knee: "
+        f"{head['above_knee']}): "
+        f"UDC p99.9 {head['udc_p999_us']:.0f}us vs LDC "
+        f"{head['ldc_p999_us']:.0f}us; SLO violation rate "
+        f"{head['udc_slo_violation_rate']:.4f} vs "
+        f"{head['ldc_slo_violation_rate']:.4f}"
+    )
+    print(
+        "open-loop claim: UDC strictly worse on both -> "
+        f"{head['udc_worse_p999'] and head['udc_worse_slo']}"
+    )
+
+
 def _run_tab1(ops: int, keys: int) -> None:
     shares = experiments.tab1_time_breakdown(ops=ops, key_space=keys)
     rows = [(name, f"{share:.1%}") for name, share in shares.items()]
@@ -435,6 +483,134 @@ def run_sharded_cli(
             title="per shard",
         )
     )
+    return 0
+
+
+def run_serve_cli(
+    workload: Optional[str],
+    policy: str,
+    ops: int,
+    keys: int,
+    arrival: str = "poisson",
+    rate: float = 15_000.0,
+    tenants: int = 1,
+    slo_us: float = 1_000.0,
+    queue_depth: int = 128,
+    discipline: str = "fifo",
+    bg_threads: int = 0,
+    seed: int = 7,
+    shards: int = 1,
+    partitioner: str = "hash",
+) -> int:
+    """Serve one Table III workload open-loop and report the client view.
+
+    ``arrival`` picks the process (``poisson``/``onoff``/``diurnal``) or
+    ``closed`` for closed-loop replay through the serve bookkeeping.
+    ``rate`` is the aggregate offered load (virtual ops/s) split equally
+    across ``tenants``; the report decomposes latency into queue wait and
+    service time and shows per-tenant SLO-violation rates.
+    """
+    from .serve import ServeSpec, run_sharded_serve, serve_workload
+    from .workload.spec import TABLE_III
+
+    workload = workload or "RWB"
+    spec_factory = TABLE_III.get(workload)
+    if spec_factory is None:
+        known = ", ".join(TABLE_III)
+        print(f"unknown workload {workload!r}; known: {known}", file=sys.stderr)
+        return 2
+    policy_factory = _policy_factory(policy)
+    if policy_factory is None:
+        return 2
+    spec = spec_factory(num_operations=ops, key_space=keys)
+    config = experiments.experiment_config(bg_threads=bg_threads)
+    try:
+        serve_spec = ServeSpec(
+            arrival=arrival,
+            rate_ops_s=rate,
+            num_tenants=tenants,
+            queue_depth=queue_depth,
+            discipline=discipline,
+            slo_us=slo_us,
+            seed=seed,
+        )
+        if shards > 1:
+            report = run_sharded_serve(
+                spec,
+                policy_factory,
+                serve_spec,
+                num_shards=shards,
+                partitioner=partitioner,
+                config=config,
+            )
+            print(
+                f"serve: workload={report.workload} policy={report.policy} "
+                f"arrival={arrival} shards={report.num_shards} "
+                f"partitioner={report.partitioner}"
+            )
+            highlights = [
+                ("offered rate ops/s", round(rate)),
+                ("arrived", report.arrived),
+                ("completed", report.completed),
+                ("rejected", report.rejected),
+                ("sim throughput ops/s", round(report.throughput_ops_s)),
+                ("SLO violation rate", round(report.slo_violation_rate, 4)),
+                ("wait p99 us", round(report.wait_latencies.percentile(99.0), 1)),
+                ("total p99.9 us", round(report.total_latencies.percentile(99.9), 1)),
+            ]
+            print(format_table(["metric", "value"], highlights, title="aggregate"))
+            return 0
+        result = serve_workload(spec, policy_factory, serve_spec, config=config)
+    except Exception as exc:  # ConfigError: bad arrival/discipline combo
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        f"serve: workload={result.workload} policy={result.policy} "
+        f"arrival={result.arrival} queue_depth={result.queue_depth} "
+        f"discipline={result.discipline} bg_threads={bg_threads}"
+    )
+    highlights = [
+        ("offered rate ops/s", round(result.offered_rate_ops_s)),
+        ("arrived", result.arrived),
+        ("admitted", result.admitted),
+        ("rejected (queue full)", result.rejected_full),
+        ("rejected (backpressure)", result.rejected_backpressure),
+        ("completed", result.completed),
+        ("sim throughput ops/s", round(result.throughput_ops_s)),
+        ("SLO violation rate", round(result.slo_violation_rate, 4)),
+    ]
+    if result.completed:
+        highlights.extend(
+            [
+                ("mean wait us", round(result.wait_latencies.mean(), 1)),
+                ("mean service us", round(result.service_latencies.mean(), 1)),
+                ("wait p99 us", round(result.wait_latencies.percentile(99.0), 1)),
+                ("total p50 us", round(result.total_latencies.percentile(50.0), 1)),
+                ("total p99 us", round(result.total_latencies.percentile(99.0), 1)),
+                ("total p99.9 us", round(result.total_latencies.percentile(99.9), 1)),
+            ]
+        )
+    print(format_table(["metric", "value"], highlights, title="client view"))
+    if len(result.tenant_stats) > 1:
+        rows = [
+            (
+                stats.tenant.name,
+                stats.completed,
+                stats.rejected_full + stats.rejected_backpressure,
+                round(stats.slo_violation_rate, 4),
+                round(stats.total_latencies.percentile(99.0), 1)
+                if stats.completed
+                else "-",
+            )
+            for stats in result.tenant_stats
+        ]
+        print(
+            format_table(
+                ["tenant", "completed", "rejected", "SLO viol rate", "p99 us"],
+                rows,
+                title="per tenant",
+            )
+        )
     return 0
 
 
@@ -776,6 +952,7 @@ def run_bench_cli(
 EXPERIMENTS: Dict[str, Callable[[int, int], None]] = {
     "fig01": _run_fig01,
     "fig01s": _run_fig01s,
+    "fig01_open_loop": _run_fig01ol,
     "tab1": _run_tab1,
     "fig07": _matrix_runner(experiments.fig07_fanout_udc),
     "fig08": _run_fig08,
@@ -925,7 +1102,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="background compaction threads per shard; >= 1 turns on the "
-        "virtual-time scheduler ('run' only, default 0 = off)",
+        "virtual-time scheduler ('run'/'serve', default 0 = off)",
     )
     parser.add_argument(
         "--slowdown-l0",
@@ -944,6 +1121,50 @@ def build_parser() -> argparse.ArgumentParser:
         "('run' only, default from LSMConfig)",
     )
     parser.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=("poisson", "onoff", "diurnal", "closed"),
+        help="arrival process for 'serve' (default poisson; 'closed' "
+        "replays the workload closed-loop)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=15_000.0,
+        metavar="OPS_S",
+        help="aggregate offered load in virtual ops/s ('serve' only, "
+        "default 15000)",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=1,
+        metavar="N",
+        help="equal-rate tenants sharing the offered load ('serve' only)",
+    )
+    parser.add_argument(
+        "--slo-us",
+        type=float,
+        default=1_000.0,
+        metavar="US",
+        help="latency SLO in virtual microseconds, queue wait + service "
+        "('serve' only, default 1000)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=128,
+        metavar="N",
+        help="bounded request-queue capacity; arrivals beyond it are "
+        "rejected ('serve' only, default 128)",
+    )
+    parser.add_argument(
+        "--discipline",
+        default="fifo",
+        choices=("fifo", "priority"),
+        help="request-queue discipline ('serve' only, default fifo)",
+    )
+    parser.add_argument(
         "--every",
         type=int,
         default=1,
@@ -954,7 +1175,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed",
         type=int,
         default=0,
-        help="workload seed ('crashtest' only)",
+        help="seed: workload for 'crashtest', arrival streams for 'serve'",
     )
     parser.add_argument(
         "--value-bytes",
@@ -1047,6 +1268,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("trace")
         print("bench")
         print("run")
+        print("serve")
         print("crashtest")
         print("explore")
         return 0
@@ -1093,6 +1315,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             name=args.bench_name,
             only=args.only,
             profile=args.profile,
+        )
+    if args.experiment == "serve":
+        return run_serve_cli(
+            args.workload,
+            args.policy,
+            args.ops,
+            args.keys,
+            arrival=args.arrival,
+            rate=args.rate,
+            tenants=args.tenants,
+            slo_us=args.slo_us,
+            queue_depth=args.queue_depth,
+            discipline=args.discipline,
+            bg_threads=args.bg_threads,
+            seed=args.seed,
+            shards=args.shards,
+            partitioner=args.partitioner,
         )
     if args.experiment == "run":
         return run_sharded_cli(

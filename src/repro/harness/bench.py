@@ -385,6 +385,54 @@ def bench_shard_scaling(quick: bool = False) -> BenchResult:
     )
 
 
+def bench_serve_tail(quick: bool = False) -> BenchResult:
+    """The open-loop serving pair: queueing-inflated tails per policy.
+
+    Drives UDC and LDC through :func:`~repro.serve.server.serve_workload`
+    at the fig01_open_loop headline operating point (Poisson arrivals at
+    60% of UDC's approximate closed-loop capacity, inline compaction,
+    bounded queue).  The extras record the headline mechanism result —
+    queue-inflated p99.9 and SLO-violation rate per policy — which the
+    perf-smoke validation asserts (UDC strictly worse on both), so every
+    bench artifact documents the serving-layer claim alongside its
+    wall-clock cost.
+    """
+    from ..serve import ServeSpec, serve_workload
+
+    ops = 2_000 if quick else 12_000
+    keys = max(500, ops // 3)
+    spec = _macro_spec("RWB", ops, keys)
+    config = LSMConfig()
+    serve_spec = ServeSpec(
+        arrival="poisson",
+        rate_ops_s=15_000.0,
+        queue_depth=128,
+        slo_us=1_000.0,
+        seed=7,
+    )
+    start = time.perf_counter()
+    udc = serve_workload(spec, LeveledCompaction, serve_spec, config=config)
+    udc_wall = time.perf_counter() - start
+    mid = time.perf_counter()
+    ldc = serve_workload(spec, LDCPolicy, serve_spec, config=config)
+    ldc_wall = time.perf_counter() - mid
+    return BenchResult(
+        "serve_tail",
+        2 * ops,
+        udc_wall + ldc_wall,
+        extra={
+            "udc_wall_s": udc_wall,
+            "ldc_wall_s": ldc_wall,
+            "udc_p999_us": udc.total_latencies.percentile(99.9),
+            "ldc_p999_us": ldc.total_latencies.percentile(99.9),
+            "udc_slo_violation_rate": udc.slo_violation_rate,
+            "ldc_slo_violation_rate": ldc.slo_violation_rate,
+            "udc_mean_wait_us": udc.mean_wait_us(),
+            "ldc_mean_wait_us": ldc.mean_wait_us(),
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # Tier-2 benchmarks (paper scale; run only when named explicitly)
 # ----------------------------------------------------------------------
@@ -460,6 +508,7 @@ BENCHMARKS: Dict[str, Callable[[bool], BenchResult]] = {
     "sched_interference": bench_sched_interference,
     "sharded_fillrandom": bench_sharded_fillrandom,
     "shard_scaling": bench_shard_scaling,
+    "serve_tail": bench_serve_tail,
 }
 
 #: Paper-scale runs; named explicitly (``--only``), never in the default

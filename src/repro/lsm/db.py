@@ -433,6 +433,23 @@ class DB:
                 duration_us=delay,
             )
 
+    def throttle_state(self) -> str:
+        """The L0 write-throttle signal: ``"none"``, ``"slowdown"`` or ``"stop"``.
+
+        The read-only form of the thresholds :meth:`_maybe_stall` acts
+        on, exposed so upstream layers (the :mod:`repro.serve` admission
+        gate) can react *before* a write enters the engine and absorbs
+        the delay — back-pressure instead of queue-wait.  Works in both
+        modes; with the scheduler off the synchronous engine rarely lets
+        Level 0 cross the triggers, so the signal mostly stays ``"none"``.
+        """
+        level0 = len(self.version.levels[0])
+        if level0 >= self._l0_stop:
+            return "stop"
+        if level0 >= self._l0_slowdown:
+            return "slowdown"
+        return "none"
+
     def flush(self) -> None:
         """Dump the memtable to Level-0 SSTables and run due compactions."""
         self._check_open()

@@ -19,9 +19,11 @@ Three pieces, one import::
 
 from .aggregate import (
     SHARD_PREFIX,
+    TENANT_PREFIX,
     aggregate_snapshots,
     combined_view,
     namespace_snapshot,
+    prefix_snapshot,
 )
 from .events import (
     ALL_EVENT_KINDS,
@@ -66,7 +68,9 @@ __all__ = [
     "aggregate_snapshots",
     "combined_view",
     "namespace_snapshot",
+    "prefix_snapshot",
     "SHARD_PREFIX",
+    "TENANT_PREFIX",
     "LatencyHistogram",
     "DEFAULT_PERCENTILES",
     "ALL_EVENT_KINDS",

@@ -31,17 +31,33 @@ Number = Union[int, float]
 #: Key prefix for per-shard namespaced metrics (``shard.3.engine.puts``).
 SHARD_PREFIX = "shard"
 
+#: Key prefix for per-tenant serving metrics (``tenant.gold.completed``).
+TENANT_PREFIX = "tenant"
 
-def namespace_snapshot(snapshot: MetricsSnapshot, shard_index: int) -> MetricsSnapshot:
-    """Re-key every metric under ``shard.<index>.`` (counters and gauges)."""
-    if shard_index < 0:
-        raise ReproError("shard index must be non-negative")
-    lead = f"{SHARD_PREFIX}.{shard_index}."
+
+def prefix_snapshot(snapshot: MetricsSnapshot, prefix: str) -> MetricsSnapshot:
+    """Re-key every metric under ``<prefix>.`` (counters and gauges).
+
+    The generic namespacing primitive behind both the per-shard
+    (``shard.<i>.``) and per-tenant (``tenant.<name>.``) views: one
+    snapshot folds into a larger one without key collisions, and
+    ``MetricsSnapshot.component(prefix)`` recovers it.
+    """
+    if not prefix:
+        raise ReproError("snapshot prefix must be non-empty")
+    lead = prefix + "."
     return MetricsSnapshot(
         t_us=snapshot.t_us,
         counters={lead + key: value for key, value in snapshot.counters.items()},
         gauges={lead + key: value for key, value in snapshot.gauges.items()},
     )
+
+
+def namespace_snapshot(snapshot: MetricsSnapshot, shard_index: int) -> MetricsSnapshot:
+    """Re-key every metric under ``shard.<index>.`` (counters and gauges)."""
+    if shard_index < 0:
+        raise ReproError("shard index must be non-negative")
+    return prefix_snapshot(snapshot, f"{SHARD_PREFIX}.{shard_index}")
 
 
 def _keywise_sum(mappings: Sequence) -> Dict[str, Number]:

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from collections import deque
 from math import ceil
-from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from ..errors import CompactionError, EngineError
 from ..obs.events import EV_SCHED_TASK, EV_SCHED_TASK_DONE
@@ -153,6 +153,26 @@ class CompactionScheduler:
         total = sum(task.remaining_chunks for task in self.queue)
         total += sum(t.task.remaining_chunks for t in self.threads if t.task)
         return total
+
+    def backlog(self) -> Dict[str, float]:
+        """Back-pressure signal for upstream admission control.
+
+        Returns the queued-task count, the unreplayed chunk count and
+        how far (virtual µs) the busiest background thread is committed
+        past *now* — the serving layer's view of how much compaction
+        debt a newly admitted write would land behind.  Pure
+        introspection: touches no clock and mutates nothing.
+        """
+        now = self.db.clock.now()
+        horizon = max(
+            (t.free_at_us for t in self.threads if t.task is not None),
+            default=now,
+        )
+        return {
+            "queued_tasks": float(len(self.queue)),
+            "pending_chunks": float(self.pending_chunks()),
+            "busy_us": max(0.0, horizon - now),
+        }
 
     # ------------------------------------------------------------------
     # Engine hooks

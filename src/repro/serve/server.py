@@ -1,0 +1,562 @@
+"""The open-loop serving loop: arrivals → bounded queue → the engine.
+
+This is the front-end that turns the closed-loop simulator into a
+*service*: requests arrive from a deterministic arrival process
+(:mod:`repro.serve.arrivals`) at absolute virtual timestamps, wait in a
+bounded :class:`~repro.serve.queue.RequestQueue`, and are served one at
+a time by a DB on its own virtual clock.  Each completed request records
+**queue wait** and **service time** separately, so the report can show
+how much of the client-perceived p99/p99.9 is queueing behind compaction
+rather than the operation itself — the service-level form of the paper's
+Fig. 1 interference story.
+
+**Single-server semantics.**  The DB is the server; its
+:class:`~repro.ssd.clock.SimClock` is the server's clock.  A request's
+service starts at ``max(arrival, previous completion)``: when the server
+is idle the clock jumps forward to the arrival (``advance_to``), which
+is exactly the window in which background compaction threads
+(:mod:`repro.sched`) catch up for free — open-loop slack is what lets
+the scheduler hide compaction, and saturation is what exposes it.
+
+**Back-pressure.**  Admission consults
+:meth:`~repro.lsm.db.DB.throttle_state` before offering a write to the
+queue: at ``"slowdown"`` the effective queue bound for writes halves
+(shed early, keep waits bounded), at ``"stop"`` writes are refused with
+a typed :class:`~repro.errors.BackpressureError` — the engine's L0
+throttle propagated to the front door instead of silently inflating
+every queued request behind a stalled write.
+
+**Closed-loop equivalence.**  ``arrival="closed"`` replays the workload
+with the next request arriving exactly when the previous one completes
+(queue depth never exceeds 1, zero queue wait).  That path executes the
+identical per-operation sequence as
+:func:`repro.harness.runner.execute_operations` — same clock reads, same
+stall-counter attribution, same recorder order — so its results are
+bit-identical to the closed-loop runner's, which the differential suite
+pins (``tests/test_serve_differential.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .arrivals import Arrival, Tenant, merge_tenant_arrivals, split_rate
+from .queue import Request, RequestQueue
+from ..errors import BackpressureError, ConfigError, QueueFullError, WorkloadError
+from ..harness.latency import LatencyRecorder, LatencyTimeline
+from ..harness.runner import PolicyFactory, build_db
+from ..lsm.config import LSMConfig
+from ..lsm.db import DB
+from ..obs.aggregate import TENANT_PREFIX, prefix_snapshot
+from ..obs.snapshot import MetricsSnapshot
+from ..ssd.flash import DeviceConfig
+from ..ssd.profile import ENTERPRISE_PCIE, SSDProfile
+from ..workload.spec import WorkloadSpec
+from ..workload.ycsb import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    OP_RMW,
+    OP_SCAN,
+    WorkloadGenerator,
+)
+
+#: Operation kinds subject to L0 back-pressure (the write path).
+WRITE_KINDS = frozenset((OP_PUT, OP_DELETE, OP_RMW))
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """How to drive the store: arrival profile, load, tenants, queue, SLO.
+
+    ``arrival`` is a registered process kind (``"poisson"``, ``"onoff"``,
+    ``"diurnal"``) or ``"closed"`` for closed-loop replay.  ``tenants``
+    may be an explicit tuple of :class:`~repro.serve.arrivals.Tenant`;
+    the ``num_tenants`` shortcut splits ``rate_ops_s`` equally instead.
+    ``slo_us`` is the latency objective (queue wait + service) that
+    per-tenant violation rates are measured against; tenants may
+    override it individually.
+    """
+
+    arrival: str = "poisson"
+    rate_ops_s: float = 10_000.0
+    tenants: Optional[Tuple[Tenant, ...]] = None
+    num_tenants: int = 1
+    queue_depth: int = 64
+    discipline: str = "fifo"
+    slo_us: float = 1_000.0
+    backpressure: bool = True
+    seed: int = 7
+    arrival_params: Tuple[Tuple[str, object], ...] = ()
+
+    def resolve_tenants(self) -> List[Tenant]:
+        if self.tenants is not None:
+            if not self.tenants:
+                raise ConfigError("tenants tuple must be non-empty")
+            return list(self.tenants)
+        return split_rate(self.rate_ops_s, self.num_tenants)
+
+    def tenant_slo_us(self, tenant: Tenant) -> float:
+        return tenant.slo_us if tenant.slo_us is not None else self.slo_us
+
+
+@dataclass
+class TenantServeStats:
+    """Everything measured for one tenant during a serve run."""
+
+    tenant: Tenant
+    slo_us: float
+    completed: int = 0
+    rejected_full: int = 0
+    rejected_backpressure: int = 0
+    slo_violations: int = 0
+    wait_latencies: LatencyRecorder = field(default_factory=LatencyRecorder)
+    total_latencies: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+    @property
+    def arrived(self) -> int:
+        return self.completed + self.rejected_full + self.rejected_backpressure
+
+    @property
+    def slo_violation_rate(self) -> float:
+        """Violations over *arrivals*: a rejected request is a violated one.
+
+        Counting rejections as violations keeps the metric honest under
+        admission control — shedding load must not launder the SLO.
+        """
+        arrived = self.arrived
+        if arrived == 0:
+            return 0.0
+        rejected = self.rejected_full + self.rejected_backpressure
+        return (self.slo_violations + rejected) / arrived
+
+    def snapshot(self, t_us: float) -> MetricsSnapshot:
+        """This tenant's ledger as a ``tenant.<name>.``-namespaced snapshot."""
+        counters: Dict[str, float] = {
+            "serve.completed": self.completed,
+            "serve.rejected_full": self.rejected_full,
+            "serve.rejected_backpressure": self.rejected_backpressure,
+            "serve.slo_violations": self.slo_violations,
+        }
+        if self.completed:
+            counters["serve.wait_us_total"] = (
+                self.completed * self.wait_latencies.mean()
+            )
+            counters["serve.total_us_total"] = (
+                self.completed * self.total_latencies.mean()
+            )
+        flat = MetricsSnapshot(
+            t_us=t_us,
+            counters=counters,
+            gauges={"serve.slo_us": self.slo_us},
+        )
+        return prefix_snapshot(flat, f"{TENANT_PREFIX}.{self.tenant.name}")
+
+
+@dataclass
+class ServeResult:
+    """Everything measured during one open-loop (or closed-loop) serve run."""
+
+    workload: str
+    policy: str
+    arrival: str
+    offered_rate_ops_s: float
+    queue_depth: int
+    discipline: str
+    slo_us: float
+    arrived: int
+    admitted: int
+    rejected_full: int
+    rejected_backpressure: int
+    completed: int
+    elapsed_us: float
+    #: Queue wait per completed request (service start − arrival).
+    wait_latencies: LatencyRecorder
+    #: Engine service time per completed request (the closed-loop latency).
+    service_latencies: LatencyRecorder
+    #: Client-perceived latency: wait + service — what the SLO binds.
+    total_latencies: LatencyRecorder
+    timeline: LatencyTimeline
+    tenant_stats: List[TenantServeStats]
+    metrics: Optional[MetricsSnapshot] = None
+    stall_time_us: float = 0.0
+    device_wait_us: float = 0.0
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_full + self.rejected_backpressure
+
+    @property
+    def throughput_ops_s(self) -> float:
+        """Completed operations per simulated second."""
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.completed / (self.elapsed_us / 1e6)
+
+    @property
+    def slo_violations(self) -> int:
+        return sum(stats.slo_violations for stats in self.tenant_stats)
+
+    @property
+    def slo_violation_rate(self) -> float:
+        """Fleet violation rate over arrivals (rejections count as violated)."""
+        if self.arrived == 0:
+            return 0.0
+        return (self.slo_violations + self.rejected) / self.arrived
+
+    @property
+    def rejection_rate(self) -> float:
+        if self.arrived == 0:
+            return 0.0
+        return self.rejected / self.arrived
+
+    def mean_wait_us(self) -> float:
+        if self.completed == 0:
+            return 0.0
+        return self.wait_latencies.mean()
+
+    def tenant_metrics(self) -> MetricsSnapshot:
+        """Every tenant's ledger in one ``tenant.<name>.``-keyed snapshot."""
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        for stats in self.tenant_stats:
+            scoped = stats.snapshot(self.elapsed_us)
+            counters.update(scoped.counters)
+            gauges.update(scoped.gauges)
+        return MetricsSnapshot(
+            t_us=self.elapsed_us,
+            counters={key: counters[key] for key in sorted(counters)},
+            gauges={key: gauges[key] for key in sorted(gauges)},
+        )
+
+    def fingerprint(self) -> tuple:
+        """Every deterministic quantity, for bit-identity assertions."""
+        assert self.metrics is not None
+        return (
+            self.workload,
+            self.policy,
+            self.arrival,
+            self.arrived,
+            self.admitted,
+            self.rejected_full,
+            self.rejected_backpressure,
+            self.completed,
+            self.elapsed_us,
+            tuple(sorted(self.metrics.counters.items())),
+            tuple(sorted(self.metrics.gauges.items())),
+            tuple(self.total_latencies.values),
+            tuple(self.wait_latencies.values),
+            tuple(self.service_latencies.values),
+            tuple(
+                (point.start_us, point.count, point.mean_latency_us,
+                 point.max_latency_us, point.stall_us)
+                for point in self.timeline.points()
+            ),
+        )
+
+    def summary(self) -> Dict[str, float]:
+        out = {
+            "offered_rate_ops_s": self.offered_rate_ops_s,
+            "throughput_ops_s": self.throughput_ops_s,
+            "completed": float(self.completed),
+            "rejection_rate": self.rejection_rate,
+            "slo_violation_rate": self.slo_violation_rate,
+        }
+        if self.completed:
+            out.update(
+                {
+                    "mean_wait_us": self.wait_latencies.mean(),
+                    "mean_service_us": self.service_latencies.mean(),
+                    "p50_us": self.total_latencies.percentile(50.0),
+                    "p99_us": self.total_latencies.percentile(99.0),
+                    "p999_us": self.total_latencies.percentile(99.9),
+                }
+            )
+        return out
+
+
+def serve_workload(
+    spec: WorkloadSpec,
+    policy_factory: PolicyFactory,
+    serve: ServeSpec,
+    config: Optional[LSMConfig] = None,
+    profile: "SSDProfile | DeviceConfig" = ENTERPRISE_PCIE,
+    db: Optional[DB] = None,
+    timeline_bucket_us: float = 1_000_000.0,
+) -> ServeResult:
+    """Drive one workload through the open-loop serving layer.
+
+    Mirrors :func:`~repro.harness.runner.run_workload`'s protocol —
+    build, preload, drain maintenance, reset, measure — but the measured
+    phase consumes the operation stream at the arrival process's pace
+    instead of back-to-back.  ``arrival="closed"`` reproduces the
+    closed-loop runner bit for bit (see module docstring).
+    """
+    generator = WorkloadGenerator(spec)
+    if db is None:
+        db = build_db(policy_factory, config=config, profile=profile)
+        for operation in generator.preload_operations():
+            db.put(operation.key, operation.value)
+        db.policy.maybe_compact()
+        db.reset_measurements()
+    operations = generator.operations()
+    if serve.arrival == "closed":
+        return _serve_closed_loop(
+            db, operations, spec.name, serve, timeline_bucket_us
+        )
+    arrivals = merge_tenant_arrivals(
+        serve.resolve_tenants(),
+        serve.arrival,
+        serve.seed,
+        spec.num_operations,
+        **dict(serve.arrival_params),
+    )
+    return _serve_open_loop(
+        db, operations, arrivals, spec.name, serve, timeline_bucket_us
+    )
+
+
+def _tenant_stats(serve: ServeSpec) -> List[TenantServeStats]:
+    return [
+        TenantServeStats(tenant=tenant, slo_us=serve.tenant_slo_us(tenant))
+        for tenant in serve.resolve_tenants()
+    ]
+
+
+def admission_bound(
+    db: DB, serve: ServeSpec, operation, tenant: str = ""
+) -> Optional[int]:
+    """The admission decision for one arriving operation.
+
+    Returns the effective queue bound to offer under (``None`` = the
+    configured capacity), or raises
+    :class:`~repro.errors.BackpressureError` when the engine's L0
+    throttle is at ``"stop"`` and the operation is a write.  At
+    ``"slowdown"`` the bound halves for writes — shed early while the
+    engine is degraded instead of queueing work it cannot absorb.
+    Reads are never back-pressured: L0 throttling is a write-path
+    signal.
+    """
+    if not serve.backpressure or operation[0] not in WRITE_KINDS:
+        return None
+    state = db.throttle_state()
+    if state == "stop":
+        raise BackpressureError(
+            "write refused: engine L0 throttle is at 'stop'",
+            tenant=tenant,
+        )
+    if state == "slowdown":
+        return max(1, serve.queue_depth // 2)
+    return None
+
+
+def _execute(db: DB, operation) -> None:
+    """One operation, dispatched exactly like the closed-loop per-op loop."""
+    kind = operation[0]
+    if kind == OP_PUT:
+        db.put(operation[1], operation[2])
+    elif kind == OP_GET:
+        db.get(operation[1])
+    elif kind == OP_SCAN:
+        db.scan(operation[1], operation[3])
+    elif kind == OP_DELETE:
+        db.delete(operation[1])
+    elif kind == OP_RMW:
+        current = db.get(operation[1])
+        db.put(operation[1], operation[2] or current or b"")
+    else:
+        raise WorkloadError(f"unknown operation kind {kind!r}")
+
+
+def _serve_open_loop(
+    db: DB,
+    operations,
+    arrivals: Sequence[Arrival],
+    workload_name: str,
+    serve: ServeSpec,
+    timeline_bucket_us: float,
+) -> ServeResult:
+    tenants = _tenant_stats(serve)
+    queue = RequestQueue(serve.queue_depth, serve.discipline)
+    wait_rec = LatencyRecorder()
+    service_rec = LatencyRecorder()
+    total_rec = LatencyRecorder()
+    timeline = LatencyTimeline(bucket_us=timeline_bucket_us)
+    clock = db.clock
+    counters_get = db.registry._counters.get
+    stall_total = counters_get("engine.stall_time_us", 0) + counters_get(
+        "sched.device_wait_us", 0
+    )
+    start_time = clock.now()
+    # Arrival timestamps are relative to the measured phase's origin; the
+    # preload already advanced the clock, so shift to absolute time once.
+    origin_us = start_time
+
+    def serve_one(request: Request) -> float:
+        nonlocal stall_total
+        arrival_us = request.arrival_us
+        if clock._now_us < arrival_us:
+            # Server idle: jump to the arrival.  Background compaction
+            # threads replay their chunks across this gap on the next
+            # engine operation — idle time is where the scheduler hides.
+            clock.advance_to(arrival_us)
+        begin = clock._now_us
+        wait_us = begin - arrival_us
+        _execute(db, request.operation)
+        service_us = clock._now_us - begin
+        stalled = counters_get("engine.stall_time_us", 0) + counters_get(
+            "sched.device_wait_us", 0
+        )
+        total_us = wait_us + service_us
+        wait_rec.record(wait_us)
+        service_rec.record(service_us)
+        total_rec.record(total_us)
+        timeline.record(begin, total_us, stall_us=stalled - stall_total)
+        stall_total = stalled
+        queue.complete()
+        stats = tenants[request.tenant_index]
+        stats.completed += 1
+        stats.wait_latencies.record(wait_us)
+        stats.total_latencies.record(total_us)
+        if total_us > stats.slo_us:
+            stats.slo_violations += 1
+        return total_us
+
+    operations = iter(operations)
+    seq = 0
+    for arrival_rel_us, tenant_index in arrivals:
+        try:
+            operation = next(operations)
+        except StopIteration:  # trace shorter than the arrival budget
+            break
+        arrival_us = origin_us + arrival_rel_us
+        # Finish every queued request whose service starts before this
+        # arrival; the admission decision below sees the queue exactly as
+        # it stands at the arrival instant.
+        while len(queue) and clock._now_us < arrival_us:
+            serve_one(queue.pop())
+        request = Request(
+            seq=seq,
+            arrival_us=arrival_us,
+            tenant_index=tenant_index,
+            operation=operation,
+            priority=tenants[tenant_index].tenant.priority,
+        )
+        seq += 1
+        stats = tenants[tenant_index]
+        try:
+            effective_capacity = admission_bound(
+                db, serve, operation, tenant=stats.tenant.name
+            )
+        except BackpressureError:
+            queue.reject_external()
+            stats.rejected_backpressure += 1
+            continue
+        try:
+            queue.offer(request, effective_capacity=effective_capacity)
+        except QueueFullError:
+            stats.rejected_full += 1
+    while len(queue):
+        serve_one(queue.pop())
+    elapsed = clock.now() - start_time
+    queue.stats.check_conservation(len(queue))
+    return _build_result(
+        db, workload_name, serve, serve.arrival, queue.stats.arrived,
+        queue.stats.admitted, tenants, elapsed,
+        wait_rec, service_rec, total_rec, timeline,
+    )
+
+
+def _serve_closed_loop(
+    db: DB,
+    operations,
+    workload_name: str,
+    serve: ServeSpec,
+    timeline_bucket_us: float,
+) -> ServeResult:
+    """Closed-loop replay through the serve bookkeeping (queue depth 1).
+
+    The next request "arrives" the instant the previous one completes,
+    so every queue wait is exactly zero and the per-operation execution
+    sequence — clock reads, dispatch, stall-counter attribution,
+    recorder order — matches
+    :func:`repro.harness.runner.execute_operations` bit for bit.
+    """
+    tenants = _tenant_stats(serve)
+    stats = tenants[0]
+    wait_rec = LatencyRecorder()
+    service_rec = LatencyRecorder()
+    total_rec = LatencyRecorder()
+    timeline = LatencyTimeline(bucket_us=timeline_bucket_us)
+    clock = db.clock
+    counters_get = db.registry._counters.get
+    stall_total = counters_get("engine.stall_time_us", 0) + counters_get(
+        "sched.device_wait_us", 0
+    )
+    start_time = clock.now()
+    count = 0
+    for operation in operations:
+        begin = clock._now_us
+        _execute(db, operation)
+        latency = clock._now_us - begin
+        stalled = counters_get("engine.stall_time_us", 0) + counters_get(
+            "sched.device_wait_us", 0
+        )
+        wait_rec.record(0.0)
+        service_rec.record(latency)
+        total_rec.record(latency)
+        timeline.record(begin, latency, stall_us=stalled - stall_total)
+        stall_total = stalled
+        count += 1
+        stats.completed += 1
+        stats.wait_latencies.record(0.0)
+        stats.total_latencies.record(latency)
+        if latency > stats.slo_us:
+            stats.slo_violations += 1
+    elapsed = clock.now() - start_time
+    return _build_result(
+        db, workload_name, serve, "closed", count, count, tenants, elapsed,
+        wait_rec, service_rec, total_rec, timeline,
+    )
+
+
+def _build_result(
+    db: DB,
+    workload_name: str,
+    serve: ServeSpec,
+    arrival: str,
+    arrived: int,
+    admitted: int,
+    tenants: List[TenantServeStats],
+    elapsed: float,
+    wait_rec: LatencyRecorder,
+    service_rec: LatencyRecorder,
+    total_rec: LatencyRecorder,
+    timeline: LatencyTimeline,
+) -> ServeResult:
+    snapshot = db.metrics()
+    counter = db.registry.counter
+    return ServeResult(
+        workload=workload_name,
+        policy=db.policy.name,
+        arrival=arrival,
+        offered_rate_ops_s=serve.rate_ops_s,
+        queue_depth=serve.queue_depth,
+        discipline=serve.discipline,
+        slo_us=serve.slo_us,
+        arrived=arrived,
+        admitted=admitted,
+        rejected_full=sum(s.rejected_full for s in tenants),
+        rejected_backpressure=sum(s.rejected_backpressure for s in tenants),
+        completed=sum(s.completed for s in tenants),
+        elapsed_us=elapsed,
+        wait_latencies=wait_rec,
+        service_latencies=service_rec,
+        total_latencies=total_rec,
+        timeline=timeline,
+        tenant_stats=tenants,
+        metrics=snapshot,
+        stall_time_us=float(counter("engine.stall_time_us")),
+        device_wait_us=float(counter("sched.device_wait_us")),
+    )

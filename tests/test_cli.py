@@ -133,3 +133,105 @@ class TestFlashCLI:
         out = capsys.readouterr().out
         assert "dev WA" in out
         assert "lowest total WA" in out
+
+
+class TestServeCLI:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "RWB", "--arrival", "onoff", "--rate", "9000",
+                "--tenants", "3", "--slo-us", "500", "--queue-depth", "32",
+                "--discipline", "priority", "--bg-threads", "2",
+            ]
+        )
+        assert args.experiment == "serve"
+        assert args.workload == "RWB"
+        assert args.arrival == "onoff"
+        assert args.rate == 9000.0
+        assert args.tenants == 3
+        assert args.slo_us == 500.0
+        assert args.queue_depth == 32
+        assert args.discipline == "priority"
+        assert args.bg_threads == 2
+
+    def test_serve_runs_tiny(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "RWB", "--ops", "1200", "--keys", "400",
+                    "--rate", "20000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "serve: workload=RWB" in out
+        assert "mean wait us" in out
+        assert "total p99.9 us" in out
+        assert "SLO violation rate" in out
+
+    def test_serve_multi_tenant_reports_per_tenant(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "RWB", "--ops", "1000", "--keys", "300",
+                    "--tenants", "2", "--rate", "20000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "per tenant" in out
+        assert "t0" in out and "t1" in out
+
+    def test_serve_sharded_runs_tiny(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "RWB", "--ops", "1000", "--keys", "300",
+                    "--shards", "2", "--rate", "20000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "shards=2" in out
+        assert "aggregate" in out
+
+    def test_serve_closed_arrival_runs(self, capsys):
+        assert (
+            main(["serve", "RWB", "--ops", "800", "--keys", "300",
+                  "--arrival", "closed"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "arrival=closed" in out
+
+    def test_serve_unknown_workload_errors(self, capsys):
+        assert main(["serve", "NOPE", "--ops", "500", "--keys", "200"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_serve_sharded_rejects_closed(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "RWB", "--ops", "500", "--keys", "200",
+                    "--shards", "2", "--arrival", "closed",
+                ]
+            )
+            == 2
+        )
+        assert "closed" in capsys.readouterr().err
+
+    def test_fig01_open_loop_listed(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01_open_loop" in out
+        assert "serve" in out
+
+    def test_fig01_open_loop_runs_tiny(self, capsys):
+        assert main(["fig01_open_loop", "--ops", "1500", "--keys", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01_open_loop" in out
+        assert "UDC knee" in out
+        assert "open-loop claim" in out

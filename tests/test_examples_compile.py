@@ -69,6 +69,36 @@ class TestSSDEnduranceOutput:
         assert "UDC" in out and "LDC" in out
 
 
+class TestOpenLoopSLOOutput:
+    """The serving example must report queue-inflated, per-tenant numbers."""
+
+    def test_run_reports_queueing_decomposition(self):
+        example = load_example("open_loop_slo")
+        rows = example.run(num_ops=2000, key_space=700)
+        assert [row["policy"] for row in rows] == ["UDC", "LDC"]
+        for row in rows:
+            # Open loop above the knee: waits are real, and the SLO-bound
+            # total tail sits above the pure service time.
+            assert row["mean_wait_us"] > 0.0
+            assert row["p999_us"] >= row["p99_us"] > row["mean_service_us"]
+            assert 0.0 <= row["slo_violation_rate"] <= 1.0
+            assert set(row["tenants"]) == {"online", "batch"}
+        udc, ldc = rows
+        assert udc["p999_us"] > ldc["p999_us"]
+        assert udc["slo_violation_rate"] > ldc["slo_violation_rate"]
+
+    def test_main_prints_slo_report(self, capsys):
+        example = load_example("open_loop_slo")
+        example.main(num_ops=2000, key_space=700)
+        out = capsys.readouterr().out
+        assert "open-loop Poisson arrivals" in out
+        assert "SLO" in out
+        assert "p99.9" in out
+        assert "per-tenant SLO violations" in out
+        assert "online" in out and "batch" in out
+        assert "UDC" in out and "LDC" in out
+
+
 def test_expected_examples_present():
     names = {path.name for path in EXAMPLES}
     assert {
@@ -79,4 +109,5 @@ def test_expected_examples_present():
         "adaptive_tuning.py",
         "trace_replay.py",
         "btree_absorption.py",
+        "open_loop_slo.py",
     } <= names

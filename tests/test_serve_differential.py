@@ -1,0 +1,111 @@
+"""Differential suite: serve closed-loop mode vs the closed-loop runner.
+
+``serve_workload(..., ServeSpec(arrival="closed"))`` claims to replay
+the workload through the serving layer's bookkeeping while executing the
+*identical* per-operation sequence as
+:func:`repro.harness.runner.run_workload` — same clock reads, same
+dispatch, same stall attribution, same recorder order.  These tests pin
+that claim bit for bit: elapsed virtual time, every latency sample,
+every engine counter and gauge, and the latency timeline must match
+exactly, for both policies, with and without the background scheduler.
+
+This is what makes the open-loop numbers trustworthy: the serve layer
+adds queueing *around* the engine without perturbing anything *inside*
+it.
+"""
+
+import pytest
+
+from repro import LSMConfig, ServeSpec, serve_workload
+from repro.harness import run_workload
+from repro.workload import rwb
+
+POLICIES = ("udc", "ldc")
+SPEC = rwb(num_operations=1_500, key_space=500)
+
+
+def config(bg_threads: int) -> LSMConfig:
+    return LSMConfig(bg_threads=bg_threads)
+
+
+def closed_serve(policy: str, bg_threads: int):
+    return serve_workload(
+        SPEC, policy, ServeSpec(arrival="closed"), config=config(bg_threads)
+    )
+
+
+def closed_run(policy: str, bg_threads: int):
+    return run_workload(SPEC, policy, config=config(bg_threads))
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("bg_threads", (0, 1))
+class TestClosedLoopEquivalence:
+    def test_elapsed_and_counts_match(self, policy, bg_threads):
+        serve = closed_serve(policy, bg_threads)
+        run = closed_run(policy, bg_threads)
+        assert serve.elapsed_us == run.elapsed_us
+        assert serve.completed == run.operations
+        assert serve.arrived == serve.admitted == serve.completed
+        assert serve.rejected == 0
+
+    def test_latency_samples_bit_identical(self, policy, bg_threads):
+        serve = closed_serve(policy, bg_threads)
+        run = closed_run(policy, bg_threads)
+        assert list(serve.total_latencies.values) == list(run.latencies.values)
+        assert list(serve.service_latencies.values) == list(
+            run.latencies.values
+        )
+        # Closed loop means zero queue wait, sample for sample.
+        assert set(serve.wait_latencies.values) == {0.0}
+        assert len(serve.wait_latencies) == len(serve.total_latencies)
+
+    def test_engine_metrics_bit_identical(self, policy, bg_threads):
+        serve = closed_serve(policy, bg_threads)
+        run = closed_run(policy, bg_threads)
+        assert serve.metrics is not None and run.metrics is not None
+        assert sorted(serve.metrics.counters.items()) == sorted(
+            run.metrics.counters.items()
+        )
+        assert sorted(serve.metrics.gauges.items()) == sorted(
+            run.metrics.gauges.items()
+        )
+        assert serve.stall_time_us == run.stall_time_us
+
+    def test_timeline_bit_identical(self, policy, bg_threads):
+        serve = closed_serve(policy, bg_threads)
+        run = closed_run(policy, bg_threads)
+        ours = [
+            (p.start_us, p.count, p.mean_latency_us, p.max_latency_us,
+             p.stall_us)
+            for p in serve.timeline.points()
+        ]
+        theirs = [
+            (p.start_us, p.count, p.mean_latency_us, p.max_latency_us,
+             p.stall_us)
+            for p in run.timeline.points()
+        ]
+        assert ours == theirs
+
+
+class TestClosedLoopStability:
+    def test_serve_closed_loop_is_self_deterministic(self):
+        one = closed_serve("ldc", 1).fingerprint()
+        two = closed_serve("ldc", 1).fingerprint()
+        assert one == two
+
+    def test_slo_accounting_matches_run_percentiles(self):
+        # The closed-loop serve path measures SLO violations against pure
+        # service time; cross-check the count against the runner's own
+        # latency distribution.
+        slo_us = 200.0
+        serve = serve_workload(
+            SPEC, "udc", ServeSpec(arrival="closed", slo_us=slo_us),
+            config=config(0),
+        )
+        run = closed_run("udc", 0)
+        expected = sum(1 for v in run.latencies.values if v > slo_us)
+        assert serve.slo_violations == expected
+        assert serve.slo_violation_rate == pytest.approx(
+            expected / run.operations
+        )

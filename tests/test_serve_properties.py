@@ -1,0 +1,226 @@
+"""Hypothesis properties of the serving layer's queueing machinery.
+
+Four contracts, over *arbitrary* parameters rather than the seeded
+examples of the unit suite:
+
+1. **Seeded determinism** — a merged tenant arrival sequence is a pure
+   function of ``(tenants, kind, seed)``: same seed ⇒ identical
+   timestamps and tenant labels, different seed ⇒ a different sequence.
+2. **Interval/arrival consistency** — for every process family, the
+   n-th arrival timestamp equals the running sum of the first n
+   inter-arrival gaps drawn from an identically-seeded generator: the
+   virtual clock advances by exactly the gaps, nothing else.
+3. **Conservation** — under any interleaving of offers, pops and
+   completions, the queue ledger balances: every arrival is admitted or
+   rejected, every admitted request is completed or still queued.
+4. **M/D/1 wait monotonicity** — with deterministic service, raising the
+   offered load (holding the arrival sample paths comparable) never
+   reduces the mean queue wait.  This is the queueing-theory sanity
+   check that the open-loop simulation actually behaves like a queue.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.serve import (
+    RequestQueue,
+    Request,
+    make_arrival_process,
+    merge_tenant_arrivals,
+    split_rate,
+)
+from repro.workload.ycsb import OP_GET, Operation
+
+KINDS = ("poisson", "onoff", "diurnal")
+
+LOOSE = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# 1. Seeded determinism
+# ----------------------------------------------------------------------
+class TestSeededDeterminism:
+    @given(
+        kind=st.sampled_from(KINDS),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        tenants=st.integers(min_value=1, max_value=5),
+        count=st.integers(min_value=1, max_value=200),
+    )
+    @LOOSE
+    def test_same_seed_same_sequence(self, kind, seed, tenants, count):
+        population = split_rate(10_000.0, tenants)
+        one = merge_tenant_arrivals(population, kind, seed, count)
+        two = merge_tenant_arrivals(population, kind, seed, count)
+        assert one == two
+
+    @given(
+        kind=st.sampled_from(KINDS),
+        seed=st.integers(min_value=0, max_value=2**31 - 2),
+    )
+    @LOOSE
+    def test_different_seed_different_sequence(self, kind, seed):
+        population = split_rate(10_000.0, 2)
+        one = merge_tenant_arrivals(population, kind, seed, 100)
+        two = merge_tenant_arrivals(population, kind, seed + 1, 100)
+        assert one != two
+
+    @given(
+        kind=st.sampled_from(KINDS),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        count=st.integers(min_value=2, max_value=300),
+    )
+    @LOOSE
+    def test_merge_is_time_ordered(self, kind, seed, count):
+        population = split_rate(8_000.0, 3)
+        merged = merge_tenant_arrivals(population, kind, seed, count)
+        stamps = [stamp for stamp, _ in merged]
+        assert stamps == sorted(stamps)
+        assert all(stamp > 0 for stamp in stamps)
+
+
+# ----------------------------------------------------------------------
+# 2. Arrivals are the running sum of the intervals
+# ----------------------------------------------------------------------
+class TestIntervalArrivalConsistency:
+    @given(
+        kind=st.sampled_from(KINDS),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rate=st.floats(min_value=10.0, max_value=1e6),
+        count=st.integers(min_value=1, max_value=300),
+    )
+    @LOOSE
+    def test_nth_arrival_is_prefix_sum(self, kind, seed, rate, count):
+        process = make_arrival_process(kind, rate)
+        gap_rng = np.random.default_rng(seed)
+        stamp_rng = np.random.default_rng(seed)
+        gaps = process.intervals(gap_rng)
+        stamps = process.arrivals(stamp_rng)
+        running = 0.0
+        for _ in range(count):
+            gap = next(gaps)
+            assert gap >= 0.0
+            running += gap
+            assert next(stamps) == running
+
+
+# ----------------------------------------------------------------------
+# 3. Conservation under arbitrary interleavings
+# ----------------------------------------------------------------------
+def _request(seq: int, priority: int) -> Request:
+    return Request(
+        seq=seq,
+        arrival_us=float(seq),
+        tenant_index=0,
+        operation=Operation(OP_GET, b"k"),
+        priority=priority,
+    )
+
+
+class TestConservation:
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.sampled_from(("offer", "serve", "external")),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=300,
+        ),
+        capacity=st.integers(min_value=1, max_value=8),
+        discipline=st.sampled_from(("fifo", "priority")),
+    )
+    @LOOSE
+    def test_ledger_balances_at_every_step(self, events, capacity, discipline):
+        queue = RequestQueue(capacity, discipline)
+        in_flight = 0
+        seq = 0
+        for action, priority in events:
+            if action == "offer":
+                try:
+                    queue.offer(_request(seq, priority))
+                except Exception:
+                    pass
+                seq += 1
+            elif action == "external":
+                queue.reject_external()
+            elif queue.depth:
+                queue.pop()
+                in_flight += 1
+            if in_flight:  # a popped request completes before the next event
+                queue.complete()
+                in_flight -= 1
+            queue.stats.check_conservation(queue.depth)
+        stats = queue.stats
+        assert stats.arrived == stats.admitted + stats.rejected
+        assert stats.admitted == stats.completed + queue.depth
+
+    @given(
+        priorities=st.lists(
+            st.integers(min_value=0, max_value=5), min_size=1, max_size=64
+        )
+    )
+    @LOOSE
+    def test_priority_pop_order_is_stable_sort(self, priorities):
+        queue = RequestQueue(len(priorities), discipline="priority")
+        for seq, priority in enumerate(priorities):
+            queue.offer(_request(seq, priority))
+        popped = [queue.pop() for _ in range(len(priorities))]
+        expected = sorted(
+            range(len(priorities)), key=lambda seq: (priorities[seq], seq)
+        )
+        assert [request.seq for request in popped] == expected
+
+
+# ----------------------------------------------------------------------
+# 4. M/D/1 mean-wait monotonicity in offered load
+# ----------------------------------------------------------------------
+def mean_wait_md1(service_us: float, rate_ops_s: float, seed: int,
+                  count: int = 400) -> float:
+    """Mean queue wait of an M/D/1 queue simulated the serve-loop way.
+
+    One deterministic server, unbounded FIFO: service begins at
+    ``max(arrival, previous completion)`` — the same recurrence the
+    serving loop induces on the DB clock.  Scaling the rate rescales the
+    *same* exponential sample path, so waits are comparable across loads.
+    """
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1e6 / rate_ops_s, size=count)
+    arrivals = np.cumsum(gaps)
+    free_at = 0.0
+    wait_total = 0.0
+    for arrival in arrivals:
+        begin = max(arrival, free_at)
+        wait_total += begin - arrival
+        free_at = begin + service_us
+    return wait_total / count
+
+
+class TestMD1Monotonicity:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        service_us=st.floats(min_value=5.0, max_value=200.0),
+        low=st.floats(min_value=0.1, max_value=0.85),
+        step=st.floats(min_value=1.05, max_value=3.0),
+    )
+    @LOOSE
+    def test_mean_wait_is_monotone_in_offered_load(
+        self, seed, service_us, low, step
+    ):
+        capacity = 1e6 / service_us  # ops/s the deterministic server can do
+        lows = mean_wait_md1(service_us, capacity * low, seed)
+        highs = mean_wait_md1(service_us, capacity * low * step, seed)
+        assert highs >= lows
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @LOOSE
+    def test_heavy_load_waits_dominate_light_load(self, seed):
+        service_us = 50.0
+        capacity = 1e6 / service_us
+        light = mean_wait_md1(service_us, 0.2 * capacity, seed)
+        heavy = mean_wait_md1(service_us, 1.5 * capacity, seed)
+        assert heavy > light
+        assert heavy > service_us  # saturated: waits exceed a service time
