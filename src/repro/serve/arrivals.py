@@ -215,9 +215,12 @@ class OnOffProcess(ArrivalProcess):
             # A gap crossing the state boundary is resampled from the new
             # state's rate for the remainder — the standard memoryless
             # construction, so each state's arrivals are exactly Poisson
-            # at that state's rate.
+            # at that state's rate.  The time already spent waiting in
+            # earlier states accumulates separately from the fresh sample,
+            # which alone is compared against the new state's dwell.
+            consumed_us = 0.0
             while gap_us > state_left_us:
-                consumed = state_left_us
+                consumed_us += state_left_us
                 on = not on
                 state_left_us = float(
                     rng.exponential(
@@ -225,9 +228,9 @@ class OnOffProcess(ArrivalProcess):
                     )
                 )
                 rate = self._on_rate if on else self._off_rate
-                gap_us = consumed + float(rng.exponential(1e6 / rate))
+                gap_us = float(rng.exponential(1e6 / rate))
             state_left_us -= gap_us
-            yield gap_us
+            yield consumed_us + gap_us
 
 
 #: Relative load over a 24-"hour" day: overnight trough, morning ramp,

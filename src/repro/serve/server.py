@@ -337,6 +337,12 @@ def admission_bound(
     engine is degraded instead of queueing work it cannot absorb.
     Reads are never back-pressured: L0 throttling is a write-path
     signal.
+
+    The throttle signal reflects the engine as of the most recently
+    *served* request: the virtual clock only advances when a request is
+    executed, so after an idle gap the L0 state consulted here is the
+    one the previous completion left behind, not a hypothetical state
+    at the arrival instant.
     """
     if not serve.backpressure or operation[0] not in WRITE_KINDS:
         return None
@@ -432,8 +438,11 @@ def _serve_open_loop(
             break
         arrival_us = origin_us + arrival_rel_us
         # Finish every queued request whose service starts before this
-        # arrival; the admission decision below sees the queue exactly as
-        # it stands at the arrival instant.
+        # arrival; the admission decision below sees the queue *depth*
+        # exactly as it stands at the arrival instant.  The engine's
+        # throttle state, by contrast, is as of the last completion —
+        # the clock (and with it background compaction) only advances
+        # when a request is served (see admission_bound).
         while len(queue) and clock._now_us < arrival_us:
             serve_one(queue.pop())
         request = Request(
@@ -541,7 +550,9 @@ def _build_result(
         workload=workload_name,
         policy=db.policy.name,
         arrival=arrival,
-        offered_rate_ops_s=serve.rate_ops_s,
+        # The load actually offered is the sum of the resolved tenant
+        # rates: an explicit tenants tuple overrides serve.rate_ops_s.
+        offered_rate_ops_s=sum(s.tenant.rate_ops_s for s in tenants),
         queue_depth=serve.queue_depth,
         discipline=serve.discipline,
         slo_us=serve.slo_us,
